@@ -1,0 +1,166 @@
+//! The NUMA-migration syscall surface: `mbind`/`move_pages`-style
+//! batched, synchronous entry points.
+//!
+//! The comparison app of §6.4 submits move requests through these:
+//! either one request per syscall (low latency, high crossing overhead)
+//! or several batched into one (amortized overhead, but every batched
+//! request completes only when its turn inside the long syscall comes,
+//! and the *caller* regains the CPU only at the very end).
+
+use memif_hwsim::{
+    Context, CostModel, NodeId, Phase, PhaseBreakdown, PhysMem, SimDuration, UsageMeter,
+};
+use memif_mm::{AddressSpace, FrameAllocator, PageSize, VirtAddr};
+
+use crate::migrate::{migrate_region, MigrateOutcome, PageFailure};
+
+/// One region to migrate, as named by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionRequest {
+    /// First virtual address (page aligned).
+    pub start: VirtAddr,
+    /// Pages to move.
+    pub pages: u32,
+    /// Page granularity.
+    pub page_size: PageSize,
+    /// Destination node.
+    pub dst_node: NodeId,
+}
+
+/// Result of one batched migration syscall.
+#[derive(Debug, Clone, Default)]
+pub struct SyscallOutcome {
+    /// Wall/CPU time of the whole syscall (they coincide: the baseline is
+    /// synchronous and CPU-bound).
+    pub duration: SimDuration,
+    /// When each batched request finished, relative to syscall entry.
+    /// A request's *latency* as the application perceives it is the
+    /// syscall-exit time, but this is when its pages became resident.
+    pub completion_offsets: Vec<SimDuration>,
+    /// Pages moved across all requests.
+    pub moved: u32,
+    /// Per-page failures across all requests.
+    pub failed: Vec<PageFailure>,
+    /// Phase breakdown including the syscall crossing.
+    pub phases: PhaseBreakdown,
+}
+
+/// Executes one `mbind`-style syscall migrating every region in
+/// `requests`, in order, on the caller's CPU. Charges the crossing and
+/// all per-page work to `meter` under [`Context::Syscall`].
+pub fn mbind(
+    space: &mut AddressSpace,
+    alloc: &mut FrameAllocator,
+    phys: &mut PhysMem,
+    cost: &CostModel,
+    meter: &mut UsageMeter,
+    requests: &[RegionRequest],
+) -> SyscallOutcome {
+    let mut out = SyscallOutcome::default();
+    let mut elapsed = cost.syscall;
+    out.phases.add(Phase::Interface, cost.syscall);
+    for req in requests {
+        let MigrateOutcome {
+            moved,
+            failed,
+            cpu_time,
+            phases,
+        } = migrate_region(
+            space,
+            alloc,
+            phys,
+            cost,
+            req.start,
+            req.pages,
+            req.page_size,
+            req.dst_node,
+        );
+        elapsed += cpu_time;
+        out.completion_offsets.push(elapsed);
+        out.moved += moved;
+        out.failed.extend(failed);
+        out.phases.merge(&phases);
+    }
+    out.duration = elapsed;
+    meter.charge(Context::Syscall, elapsed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memif_hwsim::Topology;
+
+    fn setup() -> (AddressSpace, FrameAllocator, PhysMem, CostModel, UsageMeter) {
+        let mut topo = Topology::keystone_ii();
+        topo.complete_boot();
+        (
+            AddressSpace::new(),
+            FrameAllocator::new(&topo),
+            PhysMem::new(),
+            CostModel::keystone_ii(),
+            UsageMeter::new(),
+        )
+    }
+
+    fn region(space: &mut AddressSpace, alloc: &mut FrameAllocator, pages: u32) -> RegionRequest {
+        let start = space
+            .mmap_anonymous(alloc, pages, PageSize::Small4K, NodeId(0))
+            .unwrap();
+        RegionRequest {
+            start,
+            pages,
+            page_size: PageSize::Small4K,
+            dst_node: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_one_crossing() {
+        let (mut space, mut alloc, mut phys, cost, mut meter) = setup();
+        let reqs: Vec<_> = (0..4).map(|_| region(&mut space, &mut alloc, 16)).collect();
+        let out = mbind(&mut space, &mut alloc, &mut phys, &cost, &mut meter, &reqs);
+        assert_eq!(out.moved, 64);
+        assert_eq!(
+            out.phases.get(Phase::Interface),
+            cost.syscall,
+            "one crossing for the batch"
+        );
+        assert_eq!(out.completion_offsets.len(), 4);
+    }
+
+    #[test]
+    fn batched_requests_complete_serially() {
+        let (mut space, mut alloc, mut phys, cost, mut meter) = setup();
+        let reqs: Vec<_> = (0..3).map(|_| region(&mut space, &mut alloc, 16)).collect();
+        let out = mbind(&mut space, &mut alloc, &mut phys, &cost, &mut meter, &reqs);
+        assert!(out.completion_offsets[0] < out.completion_offsets[1]);
+        assert!(out.completion_offsets[1] < out.completion_offsets[2]);
+        assert_eq!(*out.completion_offsets.last().unwrap(), out.duration);
+        // Roughly equal spacing: same work per request.
+        let gap1 = out.completion_offsets[1].saturating_sub(out.completion_offsets[0]);
+        let gap2 = out.completion_offsets[2].saturating_sub(out.completion_offsets[1]);
+        assert_eq!(gap1, gap2);
+    }
+
+    #[test]
+    fn cpu_meter_charged_in_syscall_context() {
+        let (mut space, mut alloc, mut phys, cost, mut meter) = setup();
+        let reqs = [region(&mut space, &mut alloc, 8)];
+        let out = mbind(&mut space, &mut alloc, &mut phys, &cost, &mut meter, &reqs);
+        assert_eq!(
+            meter.busy(Context::Syscall),
+            out.duration,
+            "fully CPU-bound"
+        );
+        assert_eq!(meter.cpu_busy(), out.duration);
+    }
+
+    #[test]
+    fn empty_batch_costs_one_crossing() {
+        let (mut space, mut alloc, mut phys, cost, mut meter) = setup();
+        let out = mbind(&mut space, &mut alloc, &mut phys, &cost, &mut meter, &[]);
+        assert_eq!(out.duration, cost.syscall);
+        assert_eq!(out.moved, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the end-to-end simulated move pipeline: how
+//! fast the *simulator* executes a full submit → DMA → release → notify
+//! round trip (host wall-clock per simulated request). Useful to track
+//! simulator performance regressions; the simulated-time results live
+//! in the figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
+
+fn one_round(pages: u32) {
+    let mut sys = System::keystone_ii();
+    let mut sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+    let va = sys
+        .mmap(space, pages, PageSize::Small4K, NodeId(0))
+        .unwrap();
+    memif
+        .submit(
+            &mut sys,
+            &mut sim,
+            MoveSpec::migrate(va, pages, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    sim.run(&mut sys);
+    let c = memif.retrieve_completed(&mut sys).unwrap().unwrap();
+    assert!(c.status.is_ok());
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_simulated_move");
+    for pages in [1u32, 16, 128] {
+        g.throughput(Throughput::Elements(u64::from(pages)));
+        g.bench_with_input(BenchmarkId::new("migrate", pages), &pages, |b, &n| {
+            b.iter(|| one_round(n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

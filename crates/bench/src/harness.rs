@@ -1,0 +1,428 @@
+//! Experiment drivers shared by the figure/table binaries.
+//!
+//! Two families:
+//!
+//! * **single-request probes** ([`probe_memif_once`], [`probe_linux_once`])
+//!   — Figure 6's per-request time breakdown and CPU usage;
+//! * **streaming drivers** ([`stream_memif`], [`stream_linux`]) — the
+//!   continuous-request workloads behind Figures 7 and 8 (completion
+//!   timelines and throughput).
+//!
+//! Capacity note: the real KeyStone II fast node holds only 6 MiB, which
+//! the paper worked around by *emulating* larger pages (§6.2). We instead
+//! run the page-size sweeps on a topology with an enlarged fast bank of
+//! identical bandwidth ([`bigfast_topology`]) — per-request costs do not
+//! depend on bank capacity — and keep the true 6 MiB bank for the
+//! capacity-sensitive experiments (Table 4, microbenches).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, SimDuration, SimTime, System};
+use memif_baseline::{mbind, RegionRequest};
+use memif_hwsim::{CostModel, MemoryKind, MemoryNode, PhaseBreakdown, PhysAddr, Topology};
+use memif_workloads::ShapeKind;
+
+/// A topology with KeyStone II bandwidths but a 256 MiB fast bank, for
+/// sweeps whose working sets exceed 6 MiB (see module docs).
+#[must_use]
+pub fn bigfast_topology() -> Topology {
+    Topology::custom(
+        vec![
+            MemoryNode {
+                id: NodeId(0),
+                name: "ddr3".to_owned(),
+                kind: MemoryKind::Slow,
+                base: PhysAddr::new(0x8_0000_0000),
+                bytes: 8 << 30,
+                bandwidth_gbps: 6.2,
+                boot_visible: true,
+            },
+            MemoryNode {
+                id: NodeId(1),
+                name: "fast-bank".to_owned(),
+                kind: MemoryKind::Fast,
+                base: PhysAddr::new(0x0C00_0000),
+                bytes: 256 << 20,
+                bandwidth_gbps: 24.0,
+                boot_visible: false,
+            },
+        ],
+        4,
+    )
+}
+
+/// Result of a single-request probe (one Figure 6 data point).
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// Time from submission to completion notification.
+    pub wall: SimDuration,
+    /// Driver/kernel cost per phase for this request.
+    pub phases: PhaseBreakdown,
+    /// CPU busy time over the request's lifetime, as a fraction of one
+    /// core (the Figure 6 line series).
+    pub cpu_usage: f64,
+}
+
+/// Probes one memif request of `pages`×`page_size` (replication or
+/// migration), after `warmup` identical requests that warm the
+/// descriptor chains. Runs on [`bigfast_topology`].
+///
+/// # Panics
+///
+/// Panics if any request fails (probe setups are always valid).
+#[must_use]
+pub fn probe_memif_once(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    warmup: u32,
+) -> ProbeResult {
+    let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    let mut sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, memif_config).unwrap();
+
+    let run_one = |sys: &mut System, sim: &mut Sim<System>| {
+        let src = sys.mmap(space, pages, page_size, NodeId(0)).unwrap();
+        let spec = match kind {
+            ShapeKind::Replicate => {
+                let dst = sys.mmap(space, pages, page_size, NodeId(1)).unwrap();
+                MoveSpec::replicate(src, dst, pages, page_size)
+            }
+            ShapeKind::Migrate => MoveSpec::migrate(src, pages, page_size, NodeId(1)),
+        };
+        memif.submit(sys, sim, spec).unwrap();
+        sim.run(sys);
+        let c = memif.retrieve_completed(sys).unwrap().expect("completed");
+        assert!(c.status.is_ok(), "probe request failed: {:?}", c.status);
+    };
+
+    for _ in 0..warmup {
+        run_one(&mut sys, &mut sim);
+    }
+
+    let phases_before = sys.device(memif.device()).unwrap().stats.phases.clone();
+    let cpu_before = sys.meter.cpu_busy();
+    let t0 = sim.now();
+    run_one(&mut sys, &mut sim);
+    let record = *sys.device(memif.device()).unwrap().log.last().unwrap();
+    let wall = record.completed_at.since(t0);
+    // CPU usage is measured over the request's full footprint, including
+    // the trailing kernel-thread work after the notification.
+    let window = sim.now().max(record.completed_at).since(t0);
+    let mut phases = sys.device(memif.device()).unwrap().stats.phases.clone();
+    // Per-request delta.
+    let mut delta = PhaseBreakdown::new();
+    for (phase, cost_after) in phases.iter() {
+        delta.add(phase, cost_after.saturating_sub(phases_before.get(phase)));
+    }
+    phases = delta;
+    // Add the DMA transfer itself as the Copy column (memif offloads it).
+    phases.add(
+        memif_hwsim::Phase::Copy,
+        record
+            .completed_at
+            .since(record.dma_started_at.unwrap_or(record.completed_at)),
+    );
+    let cpu_busy = sys.meter.cpu_busy().saturating_sub(cpu_before);
+    ProbeResult {
+        wall,
+        phases,
+        cpu_usage: cpu_busy.as_ns() as f64 / window.as_ns().max(1) as f64,
+    }
+}
+
+/// Probes one Linux `mbind` migration of the same shape.
+#[must_use]
+pub fn probe_linux_once(cost: &CostModel, page_size: PageSize, pages: u32) -> ProbeResult {
+    let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    let space = sys.new_space();
+    let start = sys.mmap(space, pages, page_size, NodeId(0)).unwrap();
+    let mut meter = memif_hwsim::UsageMeter::new();
+    let out = {
+        let (spaces, alloc, phys) = split_mm(&mut sys);
+        mbind(
+            &mut spaces[space.0],
+            alloc,
+            phys,
+            cost,
+            &mut meter,
+            &[RegionRequest {
+                start,
+                pages,
+                page_size,
+                dst_node: NodeId(1),
+            }],
+        )
+    };
+    ProbeResult {
+        wall: out.duration,
+        phases: out.phases,
+        cpu_usage: 1.0, // synchronous and CPU-bound by construction
+    }
+}
+
+fn split_mm(
+    sys: &mut System,
+) -> (
+    &mut Vec<memif_mm::AddressSpace>,
+    &mut memif_mm::FrameAllocator,
+    &mut memif_hwsim::PhysMem,
+) {
+    // The baseline path runs outside the DES against the same machine.
+    sys.split_for_baseline()
+}
+
+/// Result of a streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Requests completed.
+    pub requests: usize,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Wall time from first submission to last completion.
+    pub wall: SimDuration,
+    /// Move throughput, GB/s.
+    pub throughput_gbps: f64,
+    /// Completion time of each request, in submission order.
+    pub completion_times: Vec<SimTime>,
+    /// Total `ioctl(MOV_ONE)` syscalls the application made.
+    pub ioctls: u64,
+    /// Completions taken through the interrupt path.
+    pub interrupts: u64,
+    /// Completions taken through the kernel thread's polling mode.
+    pub polled: u64,
+    /// CPU usage over the run (fraction of one core).
+    pub cpu_usage: f64,
+}
+
+/// Streams `count` identical memif requests, keeping up to `window`
+/// outstanding, and measures throughput and the completion timeline.
+///
+/// Migrations ping-pong their regions between the nodes so the fast bank
+/// never overflows (only forward-direction bytes are counted — both
+/// directions cost the same, so throughput is unaffected).
+///
+/// # Panics
+///
+/// Panics if any request fails.
+#[must_use]
+pub fn stream_memif(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+) -> StreamResult {
+    struct State {
+        memif: Memif,
+        kind: ShapeKind,
+        page_size: PageSize,
+        pages: u32,
+        submitted: usize,
+        completed: usize,
+        count: usize,
+        // Region pool; for migration, tracks which node each sits on.
+        regions: Vec<(memif::VirtAddr, memif::VirtAddr, NodeId)>,
+        completion_times: Vec<SimTime>,
+        finished_at: Option<SimTime>,
+    }
+
+    let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    let mut sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, memif_config).unwrap();
+
+    let window = window.min(count).max(1);
+    let mut regions = Vec::new();
+    for _ in 0..window {
+        let src = sys.mmap(space, pages, page_size, NodeId(0)).unwrap();
+        let dst = match kind {
+            ShapeKind::Replicate => sys.mmap(space, pages, page_size, NodeId(1)).unwrap(),
+            ShapeKind::Migrate => memif::VirtAddr::new(0),
+        };
+        regions.push((src, dst, NodeId(0)));
+    }
+
+    let state = Rc::new(RefCell::new(State {
+        memif,
+        kind,
+        page_size,
+        pages,
+        submitted: 0,
+        completed: 0,
+        count,
+        regions,
+        completion_times: vec![SimTime::ZERO; count],
+        finished_at: None,
+    }));
+
+    fn submit_next(state: &Rc<RefCell<State>>, sys: &mut System, sim: &mut Sim<System>) {
+        let (memif, spec, idx) = {
+            let mut st = state.borrow_mut();
+            if st.submitted >= st.count {
+                return;
+            }
+            let idx = st.submitted;
+            st.submitted += 1;
+            let slot = idx % st.regions.len();
+            let (src, dst, node) = st.regions[slot];
+            let spec = match st.kind {
+                ShapeKind::Replicate => MoveSpec::replicate(src, dst, st.pages, st.page_size),
+                ShapeKind::Migrate => {
+                    let target = if node == NodeId(0) {
+                        NodeId(1)
+                    } else {
+                        NodeId(0)
+                    };
+                    st.regions[slot].2 = target;
+                    MoveSpec::migrate(src, st.pages, st.page_size, target)
+                }
+            }
+            .with_user_data(idx as u64);
+            (st.memif, spec, idx)
+        };
+        let _ = idx;
+        let (_, _cpu) = spec_submit(state, memif, sys, sim, spec);
+    }
+
+    fn spec_submit(
+        state: &Rc<RefCell<State>>,
+        memif: Memif,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        spec: MoveSpec,
+    ) -> (memif::ReqId, SimDuration) {
+        let _ = state;
+        memif.submit(sys, sim, spec).expect("stream submission")
+    }
+
+    fn pump(state: Rc<RefCell<State>>, sys: &mut System, sim: &mut Sim<System>) {
+        let memif = state.borrow().memif;
+        while let Some(c) = memif.retrieve_completed(sys).expect("region healthy") {
+            assert!(c.status.is_ok(), "stream request failed: {:?}", c.status);
+            let mut st = state.borrow_mut();
+            let idx = c.user_data as usize;
+            st.completion_times[idx] = sim.now();
+            st.completed += 1;
+            if st.completed == st.count {
+                st.finished_at = Some(sim.now());
+                return;
+            }
+            drop(st);
+            submit_next(&state, sys, sim);
+        }
+        let st2 = Rc::clone(&state);
+        memif.poll(sys, sim, move |sys, sim| pump(st2, sys, sim));
+    }
+
+    for _ in 0..window {
+        submit_next(&state, &mut sys, &mut sim);
+    }
+    let t0 = sim.now();
+    pump(Rc::clone(&state), &mut sys, &mut sim);
+    sim.run(&mut sys);
+
+    let st = state.borrow();
+    let finished = st.finished_at.expect("all requests completed");
+    let wall = finished.since(t0);
+    let bytes = u64::from(pages) * page_size.bytes() * count as u64;
+    let dev = sys.device(st.memif.device()).unwrap();
+    StreamResult {
+        requests: count,
+        bytes,
+        wall,
+        throughput_gbps: bytes as f64 / wall.as_ns().max(1) as f64,
+        completion_times: st.completion_times.clone(),
+        ioctls: dev.stats.ioctls,
+        interrupts: dev.stats.interrupts,
+        polled: dev.stats.polled,
+        cpu_usage: sys.meter.cpu_busy().as_ns() as f64 / wall.as_ns().max(1) as f64,
+    }
+}
+
+/// Streams `count` migrations through Linux `mbind`, batching `batch`
+/// requests per syscall — the §6.4 comparator.
+///
+/// # Panics
+///
+/// Panics if any page fails to migrate.
+#[must_use]
+pub fn stream_linux(
+    cost: &CostModel,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    batch: usize,
+) -> StreamResult {
+    let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    let space = sys.new_space();
+    let mut meter = memif_hwsim::UsageMeter::new();
+
+    // Region pool ping-pongs like the memif driver above.
+    let pool = batch.max(1);
+    let mut regions: Vec<(memif::VirtAddr, NodeId)> = (0..pool)
+        .map(|_| {
+            (
+                sys.mmap(space, pages, page_size, NodeId(0)).unwrap(),
+                NodeId(0),
+            )
+        })
+        .collect();
+
+    let mut now = SimTime::ZERO;
+    let mut completion_times = Vec::with_capacity(count);
+    let mut syscalls = 0u64;
+    let mut done = 0usize;
+    while done < count {
+        let n = batch.min(count - done);
+        let mut reqs = Vec::with_capacity(n);
+        for r in regions.iter_mut().take(n) {
+            let target = if r.1 == NodeId(0) {
+                NodeId(1)
+            } else {
+                NodeId(0)
+            };
+            reqs.push(RegionRequest {
+                start: r.0,
+                pages,
+                page_size,
+                dst_node: target,
+            });
+            r.1 = target;
+        }
+        let out = {
+            let (spaces, alloc, phys) = sys.split_for_baseline();
+            mbind(&mut spaces[space.0], alloc, phys, cost, &mut meter, &reqs)
+        };
+        assert!(out.failed.is_empty(), "baseline failures: {:?}", out.failed);
+        syscalls += 1;
+        // Requests complete inside the syscall, but the *application*
+        // only learns at syscall exit — which is what latency means to
+        // it (§6.4).
+        for _ in 0..n {
+            completion_times.push(now + out.duration);
+        }
+        now += out.duration;
+        done += n;
+    }
+
+    let bytes = u64::from(pages) * page_size.bytes() * count as u64;
+    let wall = now.since(SimTime::ZERO);
+    StreamResult {
+        requests: count,
+        bytes,
+        wall,
+        throughput_gbps: bytes as f64 / wall.as_ns().max(1) as f64,
+        completion_times,
+        ioctls: syscalls,
+        interrupts: 0,
+        polled: 0,
+        cpu_usage: 1.0,
+    }
+}

@@ -1,0 +1,156 @@
+//! Fixed-width table rendering and CSV emission for experiment output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Writes the table as CSV into the experiment results directory,
+    /// returning the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written.
+    pub fn write_csv(&self, name: &str) -> PathBuf {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        fs::write(&path, out).expect("write csv");
+        path
+    }
+}
+
+/// Where experiment CSVs land (`MEMIF_RESULTS_DIR` or `./results`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MEMIF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("results").to_path_buf())
+}
+
+/// Formats a GB/s value as the MB/s convention of Table 4.
+#[must_use]
+pub fn mbs(gbps: f64) -> String {
+    format!("{:.1}", gbps * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["much-longer-name".into(), "23456".into()]);
+        let r = t.render();
+        assert!(r.contains("=== demo ==="));
+        assert!(r.contains("much-longer-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len(), "alignment");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("memif-bench-test-{}", std::process::id()));
+        std::env::set_var("MEMIF_RESULTS_DIR", &dir);
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into(), "with,comma".into()]);
+        let path = t.write_csv("unit_test");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"with,comma\"\n");
+        std::env::remove_var("MEMIF_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mbs_formatting() {
+        assert_eq!(mbs(2.3841), "2384.1");
+    }
+}

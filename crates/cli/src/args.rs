@@ -1,0 +1,119 @@
+//! A minimal `--flag value` argument parser (the allowed dependency set
+//! has no CLI crate; this keeps `memifctl --help` honest without one).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    opts: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`-style input (program name excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a dangling `--flag` without a value or for
+    /// stray positional arguments after the subcommand.
+    pub fn parse(input: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = input.peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                args.opts.insert(key.to_owned(), value);
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Page size option (`4k`, `64k`, `2m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown sizes.
+    pub fn page_size(&self, default: memif_mm::PageSize) -> Result<memif_mm::PageSize, String> {
+        match self.get("page-size") {
+            None => Ok(default),
+            Some("4k" | "4K") => Ok(memif_mm::PageSize::Small4K),
+            Some("64k" | "64K") => Ok(memif_mm::PageSize::Medium64K),
+            Some("2m" | "2M") => Ok(memif_mm::PageSize::Large2M),
+            Some(other) => Err(format!("--page-size: unknown size '{other}' (4k|64k|2m)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse("migspeed --pages 1500 --profile xeon").unwrap();
+        assert_eq!(a.command.as_deref(), Some("migspeed"));
+        assert_eq!(a.get("profile"), Some("xeon"));
+        assert_eq!(a.get_or("pages", 0u32).unwrap(), 1500);
+        assert_eq!(a.get_or("batches", 7u32).unwrap(), 7, "default applies");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("move --pages").is_err(), "dangling flag");
+        assert!(parse("move extra").is_err(), "stray positional");
+        assert!(parse("move --pages abc")
+            .unwrap()
+            .get_or("pages", 0u32)
+            .is_err());
+    }
+
+    #[test]
+    fn page_sizes() {
+        use memif_mm::PageSize;
+        assert_eq!(
+            parse("x --page-size 64k")
+                .unwrap()
+                .page_size(PageSize::Small4K)
+                .unwrap(),
+            PageSize::Medium64K
+        );
+        assert_eq!(
+            parse("x").unwrap().page_size(PageSize::Small4K).unwrap(),
+            PageSize::Small4K
+        );
+        assert!(parse("x --page-size 1g")
+            .unwrap()
+            .page_size(PageSize::Small4K)
+            .is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! `memifctl` — drive the simulated memif stack from the command line.
+//!
+//! ```text
+//! memifctl topology [--profile keystone|xeon]
+//! memifctl migspeed [--pages 1500] [--batches 1] [--page-size 4k] [--profile keystone|xeon]
+//! memifctl move     [--kind migrate|replicate] [--pages 16] [--count 64]
+//!                   [--page-size 4k] [--window 8] [--no-reuse true] [--no-gang true]
+//! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
+//!                   [--input-mib 64]
+//! memifctl timeline [--pages 16] [--count 2]
+//! ```
+
+mod args;
+
+use args::Args;
+use memif::{Context, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
+use memif_baseline::{run_migspeed, MigspeedConfig};
+use memif_bench::{stream_memif, Table};
+use memif_hwsim::{CostModel, Topology};
+use memif_runtime::{Placement, StreamConfig, StreamRuntime};
+use memif_workloads::{stream_add, stream_triad, streamcluster_pgain, wordcount_like, ShapeKind};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let result = match args.command.as_deref() {
+        Some("topology") => topology(&args),
+        Some("migspeed") => migspeed(&args),
+        Some("move") => do_move(&args),
+        Some("stream") => stream(&args),
+        Some("timeline") => timeline(&args),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{HELP}")),
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+const HELP: &str = "\
+memifctl — drive the simulated memif stack
+
+commands:
+  topology   show the pseudo-NUMA memory topology
+  migspeed   Linux page-migration throughput (the numactl utility)
+  move       stream memif move requests and report throughput/latency
+  stream     run a Table 4 streaming workload on the mini runtime
+  timeline   trace a short run across the driver's execution contexts
+  help       this text
+
+common flags: --profile keystone|xeon, --page-size 4k|64k|2m
+run `memifctl <command>` with defaults to see each report.
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("memifctl: {msg}");
+    std::process::exit(2);
+}
+
+fn cost_profile(args: &Args) -> Result<CostModel, String> {
+    match args.get("profile") {
+        None | Some("keystone") => Ok(CostModel::keystone_ii()),
+        Some("xeon") => Ok(CostModel::xeon_e5()),
+        Some(other) => Err(format!(
+            "--profile: unknown profile '{other}' (keystone|xeon)"
+        )),
+    }
+}
+
+fn topology(args: &Args) -> Result<(), String> {
+    let cost = cost_profile(args)?;
+    let mut topo = Topology::keystone_ii();
+    let mut table = Table::new(
+        format!("memory topology (profile: {})", cost.name),
+        &[
+            "node",
+            "name",
+            "kind",
+            "base",
+            "size",
+            "bandwidth",
+            "boot-visible",
+        ],
+    );
+    let booted = args.get_or("booted", true)?;
+    if booted {
+        topo.complete_boot();
+    }
+    for n in topo.all_nodes() {
+        let online = topo.node(n.id).is_some();
+        table.row(&[
+            format!("{}{}", n.id, if online { "" } else { " (offline)" }),
+            n.name.clone(),
+            format!("{:?}", n.kind),
+            format!("{:#x}", n.base.as_u64()),
+            format!("{} MiB", n.bytes >> 20),
+            format!("{:.1} GB/s", n.bandwidth_gbps),
+            n.boot_visible.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "cpus: {}   dma: EDMA3-class, {:.1} GB/s m2m, 512 descriptors",
+        topo.cpu_count(),
+        cost.dma_engine_bw_gbps
+    );
+    Ok(())
+}
+
+fn migspeed(args: &Args) -> Result<(), String> {
+    let cost = cost_profile(args)?;
+    let mut topo = Topology::keystone_ii();
+    topo.complete_boot();
+    let config = MigspeedConfig {
+        pages_per_syscall: args.get_or("pages", 1_500u32)?,
+        batches: args.get_or("batches", 1u32)?,
+        page_size: args.page_size(PageSize::Small4K)?,
+        from: NodeId(args.get_or("from", 0u16)?),
+        to: NodeId(args.get_or("to", 1u16)?),
+    };
+    let r = run_migspeed(&topo, &cost, config);
+    println!(
+        "migrated {} pages ({} MiB) in {}: {:.3} GB/s, {:.1} us/page",
+        r.pages,
+        r.bytes >> 20,
+        r.elapsed,
+        r.throughput_gbps,
+        r.per_page_us
+    );
+    println!(
+        "({}% of the slow node's {:.1} GB/s)",
+        (r.throughput_gbps / cost.slow_bw_gbps * 100.0).round(),
+        cost.slow_bw_gbps
+    );
+    Ok(())
+}
+
+fn do_move(args: &Args) -> Result<(), String> {
+    let cost = cost_profile(args)?;
+    let kind = match args.get("kind") {
+        None | Some("migrate") => ShapeKind::Migrate,
+        Some("replicate") => ShapeKind::Replicate,
+        Some(other) => return Err(format!("--kind: unknown kind '{other}'")),
+    };
+    let config = MemifConfig {
+        descriptor_reuse: !args.get_or("no-reuse", false)?,
+        gang_lookup: !args.get_or("no-gang", false)?,
+        pipeline_depth: args.get_or("depth", 2usize)?,
+        ..MemifConfig::default()
+    };
+    let pages = args.get_or("pages", 16u32)?;
+    let count = args.get_or("count", 64usize)?;
+    let window = args.get_or("window", 8usize)?;
+    let page_size = args.page_size(PageSize::Small4K)?;
+
+    let r = stream_memif(&cost, config, kind, page_size, pages, count, window);
+    let mean_us = r
+        .completion_times
+        .iter()
+        .map(|t| t.as_ns() as f64)
+        .sum::<f64>()
+        / r.completion_times.len() as f64
+        / 1e3;
+    println!(
+        "{count} x {pages} {page_size} pages ({:?}): {:.3} GB/s, mean completion {:.1} us",
+        kind, r.throughput_gbps, mean_us
+    );
+    println!(
+        "syscalls: {}   interrupts: {}   polled: {}   cpu: {:.2} cores",
+        r.ioctls, r.interrupts, r.polled, r.cpu_usage
+    );
+    Ok(())
+}
+
+fn stream(args: &Args) -> Result<(), String> {
+    let kernels = match args.get("kernel") {
+        None | Some("all") => vec![streamcluster_pgain(), stream_triad(), stream_add()],
+        Some("triad") => vec![stream_triad()],
+        Some("add") => vec![stream_add()],
+        Some("pgain") => vec![streamcluster_pgain()],
+        Some("wordcount") => vec![wordcount_like()],
+        Some(other) => return Err(format!("--kernel: unknown kernel '{other}'")),
+    };
+    let placements = match args.get("placement") {
+        None | Some("both") => vec![Placement::SlowOnly, Placement::MemifPrefetch],
+        Some("linux") => vec![Placement::SlowOnly],
+        Some("memif") => vec![Placement::MemifPrefetch],
+        Some(other) => return Err(format!("--placement: unknown placement '{other}'")),
+    };
+    let total = args.get_or("input-mib", 64u64)? << 20;
+
+    let mut table = Table::new(
+        "streaming throughput (MB/s)",
+        &["kernel", "placement", "MB/s", "fallback%", "fills"],
+    );
+    for kernel in &kernels {
+        for placement in &placements {
+            let mut sys = System::keystone_ii();
+            let mut sim = Sim::new();
+            let space = sys.new_space();
+            let memif = match placement {
+                Placement::MemifPrefetch => Some(
+                    Memif::open(&mut sys, space, MemifConfig::default())
+                        .map_err(|e| e.to_string())?,
+                ),
+                Placement::SlowOnly => None,
+            };
+            let config = StreamConfig {
+                placement: *placement,
+                total_input: total,
+                ..StreamConfig::default()
+            };
+            let rt =
+                StreamRuntime::launch(&mut sys, &mut sim, space, memif, config, kernel.clone());
+            sim.run(&mut sys);
+            let r = rt.report();
+            table.row(&[
+                kernel.name.clone(),
+                format!("{placement:?}"),
+                format!("{:.1}", r.traffic_gbps * 1000.0),
+                format!(
+                    "{:.0}%",
+                    r.fallback_bytes as f64 / r.input_bytes.max(1) as f64 * 100.0
+                ),
+                r.fills.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    Ok(())
+}
+
+fn timeline(args: &Args) -> Result<(), String> {
+    let pages = args.get_or("pages", 16u32)?;
+    let count = args.get_or("count", 2usize)?;
+    let page_size = args.page_size(PageSize::Small4K)?;
+
+    let mut sys = System::keystone_ii();
+    sys.enable_tracing();
+    let mut sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, MemifConfig::default()).map_err(|e| e.to_string())?;
+    for _ in 0..count {
+        let va = sys
+            .mmap(space, pages, page_size, NodeId(0))
+            .map_err(|e| e.to_string())?;
+        memif
+            .submit(
+                &mut sys,
+                &mut sim,
+                MoveSpec::migrate(va, pages, page_size, NodeId(1)),
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    sim.run(&mut sys);
+    while memif
+        .retrieve_completed(&mut sys)
+        .map_err(|e| e.to_string())?
+        .is_some()
+    {}
+
+    println!("driver timeline: {count} x {pages} {page_size} migrations\n");
+    for e in sys.trace() {
+        let ctx = match e.ctx {
+            Context::Syscall => "syscall",
+            Context::Interrupt => "irq",
+            Context::KernelThread => "kthread",
+            Context::DmaEngine => "dma",
+            Context::App => "app",
+        };
+        println!(
+            "  {:>9.1} us  +{:<9} {:>8}  {:<54} {}",
+            e.at.as_ns() as f64 / 1e3,
+            format!("{}", e.duration),
+            ctx,
+            e.label,
+            e.req.map(|r| format!("req {r}")).unwrap_or_default()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,399 @@
+//! The memif user API (§4.1, Figure 2).
+//!
+//! The C prototype exposes `MemifOpen`/`AllocRequest`/`SubmitRequest`/
+//! `RetrieveCompleted`/`poll`/`MemifClose`. [`Memif`] carries the same
+//! surface against the simulated [`System`]. Because the world is a DES,
+//! API calls return the [`SimDuration`] of application CPU time they
+//! consumed; scripted applications advance their own timeline by that
+//! amount (the harnesses in `memif-bench` do exactly this).
+//!
+//! ```
+//! use memif::{Memif, MemifConfig, MoveSpec, System};
+//! use memif_hwsim::{NodeId, Sim};
+//! use memif_mm::PageSize;
+//!
+//! let mut sys = System::keystone_ii();
+//! let mut sim = Sim::new();
+//! let proc0 = sys.new_space();
+//! let src = sys.mmap(proc0, 4, PageSize::Small4K, NodeId(0)).unwrap();
+//! let dst = sys.mmap(proc0, 4, PageSize::Small4K, NodeId(1)).unwrap();
+//!
+//! let memif = Memif::open(&mut sys, proc0, MemifConfig::default()).unwrap();
+//! let (_id, _cpu) = memif
+//!     .submit(&mut sys, &mut sim, MoveSpec::replicate(src, dst, 4, PageSize::Small4K))
+//!     .unwrap();
+//! sim.run(&mut sys);
+//! let done = memif.retrieve_completed(&mut sys).unwrap().expect("one completion");
+//! assert!(done.status.is_ok());
+//! ```
+
+use memif_hwsim::{Context, Sim, SimDuration};
+use memif_lockfree::{Color, MovReq, MoveKind, MoveStatus, QueueId};
+use memif_mm::{AccessKind, Fault, PageSize, VirtAddr};
+
+use crate::config::MemifConfig;
+use crate::device::DeviceId;
+use crate::driver::{self, dev, dev_mut};
+use crate::error::MemifError;
+use crate::system::{SpaceId, System};
+
+/// Identifier the application uses to correlate completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// A move request as the application states it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveSpec {
+    /// Replication or migration.
+    pub kind: MoveKind,
+    /// Source region base.
+    pub src: VirtAddr,
+    /// Destination region base (replication only).
+    pub dst: VirtAddr,
+    /// Pages covered.
+    pub pages: u32,
+    /// Page granularity (must match the regions' VMAs).
+    pub page_size: PageSize,
+    /// Destination node (migration only).
+    pub dst_node: memif_hwsim::NodeId,
+    /// Opaque cookie echoed in the completion.
+    pub user_data: u64,
+}
+
+impl MoveSpec {
+    /// A replication (asynchronous `memcpy`) of `pages` pages.
+    #[must_use]
+    pub fn replicate(src: VirtAddr, dst: VirtAddr, pages: u32, page_size: PageSize) -> Self {
+        MoveSpec {
+            kind: MoveKind::Replicate,
+            src,
+            dst,
+            pages,
+            page_size,
+            dst_node: memif_hwsim::NodeId(0),
+            user_data: 0,
+        }
+    }
+
+    /// A migration of `pages` pages onto `dst_node`.
+    #[must_use]
+    pub fn migrate(
+        src: VirtAddr,
+        pages: u32,
+        page_size: PageSize,
+        dst_node: memif_hwsim::NodeId,
+    ) -> Self {
+        MoveSpec {
+            kind: MoveKind::Migrate,
+            src,
+            dst: VirtAddr::new(0),
+            pages,
+            page_size,
+            dst_node,
+            user_data: 0,
+        }
+    }
+
+    /// Attaches a user cookie.
+    #[must_use]
+    pub fn with_user_data(mut self, user_data: u64) -> Self {
+        self.user_data = user_data;
+        self
+    }
+}
+
+/// A retrieved completion notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request this completes.
+    pub req_id: ReqId,
+    /// Terminal status.
+    pub status: CompletionStatus,
+    /// The cookie from the submission.
+    pub user_data: u64,
+    /// Replication or migration.
+    pub kind: MoveKind,
+    /// Bytes covered.
+    pub bytes: u64,
+}
+
+/// Completion status exposed to applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionStatus(pub MoveStatus);
+
+impl CompletionStatus {
+    /// True for a successful move.
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        self.0 == MoveStatus::Done
+    }
+
+    /// True when a CPU/DMA race was detected (the SEGFAULT-equivalent of
+    /// proceed-and-fail).
+    #[must_use]
+    pub fn is_race(self) -> bool {
+        self.0 == MoveStatus::Raced
+    }
+
+    /// True when proceed-and-recover aborted the migration.
+    #[must_use]
+    pub fn is_aborted(self) -> bool {
+        self.0 == MoveStatus::Aborted
+    }
+}
+
+/// A handle to an open memif instance (the `memfd` of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Memif {
+    device: DeviceId,
+    owner: SpaceId,
+}
+
+impl Memif {
+    /// `MemifOpen`: creates an instance owned by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region-construction failures.
+    pub fn open(sys: &mut System, owner: SpaceId, config: MemifConfig) -> Result<Self, MemifError> {
+        let device = sys.open_device(owner, config)?;
+        Ok(Memif { device, owner })
+    }
+
+    /// `MemifClose`: tears the instance down.
+    ///
+    /// # Errors
+    ///
+    /// [`MemifError::Busy`] if the device still has queued or in-flight
+    /// work (retrieve completions first), or
+    /// [`MemifError::NoSuchDevice`] if already closed.
+    pub fn close(self, sys: &mut System) -> Result<(), MemifError> {
+        let device = sys.device(self.device).ok_or(MemifError::NoSuchDevice)?;
+        if !device.is_idle() {
+            return Err(MemifError::Busy);
+        }
+        sys.close_device(self.device)?;
+        Ok(())
+    }
+
+    /// The underlying device id.
+    #[must_use]
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// `AllocRequest` + populate + `SubmitRequest` (§4.4), as one call.
+    ///
+    /// Non-blocking: enqueues the request on the staging queue. If the
+    /// observed color is **blue**, this thread flushes staging to the
+    /// submission queue, recolors to red, and — if it won the recolor —
+    /// makes the single `ioctl(MOV_ONE)` kick-start syscall. If the
+    /// color is **red**, an active kernel worker will pick the request
+    /// up with no syscall at all.
+    ///
+    /// Returns the request id and the application CPU time consumed
+    /// (including any syscall).
+    ///
+    /// # Errors
+    ///
+    /// [`MemifError::Exhausted`] when all request slots are in flight.
+    /// Semantic errors (bad ranges, unknown nodes) are reported
+    /// asynchronously through the completion queue, as in the paper.
+    pub fn submit(
+        &self,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        spec: MoveSpec,
+    ) -> Result<(ReqId, SimDuration), MemifError> {
+        let device = dev_mut(sys, self.device);
+        let slot = device.region.alloc_slot()?;
+        let id = device.next_req_id;
+        device.next_req_id += 1;
+        device.stats.submitted += 1;
+        device.submit_times.insert(id, sim.now());
+
+        let req = MovReq {
+            id,
+            kind: spec.kind,
+            src_base: spec.src.as_u64(),
+            dst_base: spec.dst.as_u64(),
+            nr_pages: spec.pages,
+            page_shift: spec.page_size.shift(),
+            dst_node: spec.dst_node.0,
+            status: MoveStatus::Pending,
+            user_data: spec.user_data,
+        };
+
+        let mut cpu = sys.cost.queue_op;
+        let color = dev(sys, self.device)
+            .region
+            .enqueue(QueueId::Staging, slot, &req)?;
+
+        if color == Color::Blue {
+            // This thread is the flusher (§4.4 pseudo-code).
+            loop {
+                // flush: staging -> submission
+                while let Some(d) = dev(sys, self.device).region.dequeue(QueueId::Staging)? {
+                    dev(sys, self.device)
+                        .region
+                        .enqueue(QueueId::Submission, d.slot, &d.req)?;
+                    cpu += sys.cost.queue_op * 2;
+                }
+                match dev(sys, self.device)
+                    .region
+                    .set_color(QueueId::Staging, Color::Red)
+                {
+                    Err(_) => continue,      // queue refilled: re-flush
+                    Ok(Color::Red) => break, // another thread already kicked
+                    Ok(Color::Blue) => {
+                        cpu += driver::syscall::mov_one(sys, sim, self.device);
+                        break;
+                    }
+                }
+            }
+        }
+        sys.meter.charge(Context::App, sys.cost.queue_op);
+        Ok((ReqId(id), cpu))
+    }
+
+    /// `RetrieveCompleted`: takes one completion notification, failure
+    /// queue first, without blocking. The request slot returns to the
+    /// free list.
+    ///
+    /// # Errors
+    ///
+    /// Region-validation failures (not expected in normal operation).
+    pub fn retrieve_completed(&self, sys: &mut System) -> Result<Option<Completion>, MemifError> {
+        let device = dev(sys, self.device);
+        let deq = match device.region.dequeue(QueueId::CompletionErr)? {
+            Some(d) => Some(d),
+            None => device.region.dequeue(QueueId::CompletionOk)?,
+        };
+        sys.meter.charge(Context::App, sys.cost.queue_op);
+        match deq {
+            Some(d) => {
+                dev(sys, self.device).region.free_slot(d.slot)?;
+                Ok(Some(Completion {
+                    req_id: ReqId(d.req.id),
+                    status: CompletionStatus(d.req.status),
+                    user_data: d.req.user_data,
+                    kind: d.req.kind,
+                    bytes: d.req.len_bytes(),
+                }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `poll()`: runs `waker` as soon as a completion is (or becomes)
+    /// available — immediately if one is already queued, otherwise when
+    /// the driver posts the next notification. The application sleeps in
+    /// between, burning no CPU.
+    pub fn poll(
+        &self,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        waker: impl FnOnce(&mut System, &mut Sim<System>) + 'static,
+    ) {
+        let device = dev(sys, self.device);
+        let ready = !device.region.is_empty(QueueId::CompletionErr)
+            || !device.region.is_empty(QueueId::CompletionOk);
+        if ready {
+            sim.schedule_after(sys.cost.queue_op, waker);
+        } else {
+            dev_mut(sys, self.device).pollers.push(Box::new(waker));
+        }
+    }
+}
+
+/// Waits on several memif instances at once — the `poll(fdset)` of
+/// Figure 2 with more than one descriptor in the set. `waker` runs as
+/// soon as *any* instance has (or produces) a completion; it receives
+/// the ready instance. Like the syscall, this is one-shot: re-arm after
+/// handling.
+///
+/// # Examples
+///
+/// ```
+/// use memif::{poll_any, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
+///
+/// let mut sys = System::keystone_ii();
+/// let mut sim = Sim::new();
+/// let space = sys.new_space();
+/// let a = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+/// let b = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+/// let va = sys.mmap(space, 4, PageSize::Small4K, NodeId(0)).unwrap();
+/// b.submit(&mut sys, &mut sim, MoveSpec::migrate(va, 4, PageSize::Small4K, NodeId(1))).unwrap();
+/// poll_any(&mut sys, &mut sim, &[a, b], move |sys, _sim, ready| {
+///     assert_eq!(ready.device(), b.device());
+///     assert!(ready.retrieve_completed(sys).unwrap().unwrap().status.is_ok());
+/// });
+/// sim.run(&mut sys);
+/// ```
+pub fn poll_any(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    handles: &[Memif],
+    waker: impl FnOnce(&mut System, &mut Sim<System>, Memif) + 'static,
+) {
+    use memif_lockfree::QueueId as Q;
+    // Fast path: something is already queued.
+    for h in handles {
+        let device = dev(sys, h.device());
+        if !device.region.is_empty(Q::CompletionErr) || !device.region.is_empty(Q::CompletionOk) {
+            let h = *h;
+            let cost = sys.cost.queue_op;
+            sim.schedule_after(cost, move |sys: &mut System, sim| waker(sys, sim, h));
+            return;
+        }
+    }
+    // Register a shared one-shot waker with every instance; whichever
+    // notifies first consumes it, the rest become no-ops.
+    type Waker = Box<dyn FnOnce(&mut System, &mut Sim<System>, Memif)>;
+    let cell: std::rc::Rc<std::cell::RefCell<Option<Waker>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(Some(Box::new(waker))));
+    for h in handles {
+        let h = *h;
+        let cell = std::rc::Rc::clone(&cell);
+        h.poll(sys, sim, move |sys, sim| {
+            if let Some(w) = cell.borrow_mut().take() {
+                w(sys, sim, h);
+            }
+        });
+    }
+}
+
+impl System {
+    /// A CPU store to `vaddr` in `space` with proceed-and-recover
+    /// semantics: a write-protection trap invokes the memif fault
+    /// handler (aborting the covering migration) and the store retries
+    /// against the restored mapping, exactly as on real hardware.
+    ///
+    /// # Errors
+    ///
+    /// Any non-recoverable [`Fault`].
+    pub fn cpu_write(
+        &mut self,
+        sim: &mut Sim<System>,
+        space: SpaceId,
+        vaddr: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), Fault> {
+        match self.spaces[space.0].access(vaddr, AccessKind::Write) {
+            Ok(pa) => {
+                self.phys.write(pa, data);
+                Ok(())
+            }
+            Err(Fault::WriteProtected(va)) => {
+                if driver::fault::handle_write_fault(self, sim, space, va) {
+                    let pa = self.spaces[space.0].access(vaddr, AccessKind::Write)?;
+                    self.phys.write(pa, data);
+                    Ok(())
+                } else {
+                    Err(Fault::WriteProtected(va))
+                }
+            }
+            Err(other) => Err(other),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! memif instance configuration.
+
+/// How the driver handles CPU/DMA races during migration (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaceMode {
+    /// **Proceed and fail** (the paper's default): Remap installs a
+    /// semi-final PTE with the young bit set; Release CASes in the final
+    /// PTE and treats a failed CAS as a program error, delivering a
+    /// SEGFAULT-equivalent failure notification.
+    #[default]
+    DetectFail,
+    /// **Proceed and recover** (the paper's alternative): migrating pages
+    /// are additionally write-watched; a trapping write aborts the
+    /// migration, restores the original mapping, drops the DMA transfer,
+    /// and delivers an `Aborted` notification. Higher complexity and
+    /// overhead, but the racing write is preserved.
+    DetectRecover,
+    /// **Prevent** (ablation A3): the Linux-baseline behavior grafted
+    /// onto memif — install migration entries that block accessors, and
+    /// pay the second PTE+TLB update in Release. Shows what the
+    /// detection design buys.
+    Prevent,
+}
+
+/// Per-instance tunables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemifConfig {
+    /// Usable request slots in the shared region.
+    pub queue_capacity: usize,
+    /// Race handling for migrations.
+    pub race_mode: RaceMode,
+    /// Use gang page lookup (§5.1). Off = per-page vertical walks
+    /// (ablation A2).
+    pub gang_lookup: bool,
+    /// Reuse DMA descriptor chains (§5.3). Off = full reconfiguration
+    /// every transfer (ablation A1).
+    pub descriptor_reuse: bool,
+    /// Requests below this size complete via the kernel thread's polling
+    /// mode instead of an interrupt (§5.4; the paper uses 512 KB).
+    /// `None` inherits the cost model's threshold. `Some(0)` forces
+    /// interrupts always; `Some(u64::MAX)` forces polling always
+    /// (ablation A4).
+    pub poll_threshold_bytes: Option<u64>,
+    /// Maximum transfers the driver keeps in flight per device. At 2
+    /// (default) the kernel thread prepares and issues the next request
+    /// while the previous transfer is still on the engine — the EDMA3's
+    /// multiple transfer controllers make this free — pipelining CPU
+    /// work with DMA time. 1 reproduces strictly serial service
+    /// (ablation A5).
+    pub pipeline_depth: usize,
+}
+
+impl Default for MemifConfig {
+    fn default() -> Self {
+        MemifConfig {
+            queue_capacity: 64,
+            race_mode: RaceMode::DetectFail,
+            gang_lookup: true,
+            descriptor_reuse: true,
+            poll_threshold_bytes: None,
+            pipeline_depth: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MemifConfig::default();
+        assert_eq!(c.race_mode, RaceMode::DetectFail);
+        assert!(c.gang_lookup);
+        assert!(c.descriptor_reuse);
+        assert_eq!(c.poll_threshold_bytes, None);
+        assert!(c.queue_capacity > 0);
+        assert_eq!(c.pipeline_depth, 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! memif device instances and their driver-side state.
+//!
+//! Each open device corresponds to one `/dev/memifN` file in the paper:
+//! it is owned by exactly one process, holds the shared lock-free region
+//! (Figure 3), and carries the driver bookkeeping — the in-flight
+//! transfer, statistics, completion log, and registered pollers.
+
+use std::collections::HashMap;
+
+use memif_hwsim::dma::TransferId;
+use memif_hwsim::{EventFn, PhaseBreakdown, PhysAddr, SimTime};
+use memif_lockfree::{MovReq, MoveKind, MoveStatus, Region};
+use memif_mm::{PageSize, Pte, VirtAddr};
+
+use crate::config::MemifConfig;
+use crate::error::MemifError;
+use crate::system::{SpaceId, System};
+
+/// Handle to an open memif device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub usize);
+
+/// One entry of the driver's completion log (the raw material for the
+/// latency and throughput figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionRecord {
+    /// Request id.
+    pub req_id: u64,
+    /// Replication or migration.
+    pub kind: MoveKind,
+    /// Bytes the request covered.
+    pub bytes: u64,
+    /// When the application submitted it.
+    pub submitted_at: SimTime,
+    /// When its DMA transfer started (`None` if rejected before launch).
+    pub dma_started_at: Option<SimTime>,
+    /// When the completion notification was enqueued.
+    pub completed_at: SimTime,
+    /// Terminal status.
+    pub status: MoveStatus,
+}
+
+impl CompletionRecord {
+    /// Submission-to-notification latency.
+    #[must_use]
+    pub fn latency(&self) -> memif_hwsim::SimDuration {
+        self.completed_at.since(self.submitted_at)
+    }
+}
+
+/// Driver activity counters for one device.
+#[derive(Debug, Clone, Default)]
+pub struct DriverStats {
+    /// Requests submitted by the application.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with a failure status.
+    pub failed: u64,
+    /// `ioctl(MOV_ONE)` kick-start syscalls made.
+    pub ioctls: u64,
+    /// Completions taken through the interrupt path.
+    pub interrupts: u64,
+    /// Completions taken through the kernel thread's polling mode.
+    pub polled: u64,
+    /// Kernel-thread wakeups.
+    pub kthread_wakeups: u64,
+    /// Pages whose Release CAS detected a race.
+    pub races_detected: u64,
+    /// Migrations aborted by the proceed-and-recover fault handler.
+    pub aborts: u64,
+    /// Bytes successfully moved.
+    pub bytes_moved: u64,
+    /// Driver cost per phase (Figure 6 columns).
+    pub phases: PhaseBreakdown,
+}
+
+/// Per-page migration bookkeeping carried across the DMA window.
+#[derive(Debug, Clone)]
+pub(crate) struct PagePlan {
+    pub vaddr: VirtAddr,
+    pub old_frame: PhysAddr,
+    pub new_frame: PhysAddr,
+    /// The entry found before Remap (for proceed-and-recover restore).
+    pub original: Pte,
+    /// The entry installed by Remap (semi-final / migration entry).
+    pub installed: Pte,
+    /// The entry Release swaps in on success.
+    pub final_pte: Pte,
+    /// Mappings of the same frame in *other* address spaces (shared
+    /// pages, §6.7). During the transfer they hold migration entries;
+    /// Release rewrites them to the new frame.
+    pub remote: Vec<(crate::system::SpaceId, VirtAddr)>,
+}
+
+/// An in-flight request. Up to `pipeline_depth` coexist per device: the
+/// kernel thread prepares the next request while the previous transfer
+/// is still on the engine.
+#[derive(Debug)]
+pub(crate) struct Inflight {
+    /// Driver-internal identity (find-by-token across events).
+    pub token: u64,
+    pub req: MovReq,
+    pub slot: memif_lockfree::SlotIndex,
+    /// Set once the DMA transfer is launched.
+    pub transfer: Option<TransferId>,
+    /// The programmed transfer, consumed at launch time.
+    pub cfg: Option<memif_hwsim::dma::ConfiguredTransfer>,
+    pub segments: Vec<memif_hwsim::dma::SgSegment>,
+    pub pages: Vec<PagePlan>,
+    pub page_size: PageSize,
+    pub interrupt_mode: bool,
+    /// When the DMA transfer started.
+    pub dma_started_at: Option<SimTime>,
+    /// The transfer finished; Release is pending. The request stays
+    /// registered so a trapping write can still abort it, but it no
+    /// longer occupies the pipeline (the engine is free).
+    pub completed: bool,
+}
+
+/// An open memif device.
+pub struct MemifDevice {
+    /// Device id.
+    pub id: DeviceId,
+    /// Owning process.
+    pub owner: SpaceId,
+    /// Instance configuration.
+    pub config: MemifConfig,
+    /// The shared lock-free region (Figure 3).
+    pub region: Region,
+    /// Driver counters.
+    pub stats: DriverStats,
+    /// Completion log.
+    pub log: Vec<CompletionRecord>,
+    pub(crate) inflight: Vec<Inflight>,
+    /// The kernel worker's CPU is occupied until this instant (it
+    /// prepares requests one at a time even when transfers overlap).
+    pub(crate) kthread_busy_until: SimTime,
+    pub(crate) next_req_id: u64,
+    pub(crate) next_token: u64,
+    pub(crate) submit_times: HashMap<u64, SimTime>,
+    pub(crate) pollers: Vec<EventFn<System>>,
+}
+
+impl std::fmt::Debug for MemifDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemifDevice")
+            .field("id", &self.id)
+            .field("owner", &self.owner)
+            .field("inflight", &self.inflight.len())
+            .field("pollers", &self.pollers.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemifDevice {
+    pub(crate) fn new(
+        id: DeviceId,
+        owner: SpaceId,
+        config: MemifConfig,
+    ) -> Result<Self, MemifError> {
+        let region = Region::new(config.queue_capacity)?;
+        Ok(MemifDevice {
+            id,
+            owner,
+            config,
+            region,
+            stats: DriverStats::default(),
+            log: Vec::new(),
+            inflight: Vec::new(),
+            kthread_busy_until: SimTime::ZERO,
+            next_req_id: 0,
+            next_token: 0,
+            submit_times: HashMap::new(),
+            pollers: Vec::new(),
+        })
+    }
+
+    /// The poll threshold in effect (§5.4): config override or the cost
+    /// model's 512 KB default.
+    #[must_use]
+    pub fn poll_threshold(&self, default_bytes: u64) -> u64 {
+        self.config.poll_threshold_bytes.unwrap_or(default_bytes)
+    }
+
+    /// True if the device has neither queued nor in-flight work.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        use memif_lockfree::QueueId;
+        self.inflight.is_empty()
+            && self.region.is_empty(QueueId::Staging)
+            && self.region.is_empty(QueueId::Submission)
+    }
+}
+
+impl System {
+    /// The device `id`, if open.
+    #[must_use]
+    pub fn device(&self, id: DeviceId) -> Option<&MemifDevice> {
+        self.devices.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to device `id`, if open.
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut MemifDevice> {
+        self.devices.get_mut(id.0).and_then(Option::as_mut)
+    }
+
+    pub(crate) fn open_device(
+        &mut self,
+        owner: SpaceId,
+        config: MemifConfig,
+    ) -> Result<DeviceId, MemifError> {
+        let id = DeviceId(self.devices.len());
+        let dev = MemifDevice::new(id, owner, config)?;
+        self.devices.push(Some(dev));
+        Ok(id)
+    }
+
+    pub(crate) fn close_device(&mut self, id: DeviceId) -> Result<MemifDevice, MemifError> {
+        let slot = self.devices.get_mut(id.0).ok_or(MemifError::NoSuchDevice)?;
+        match slot.take() {
+            Some(dev) => Ok(dev),
+            None => Err(MemifError::NoSuchDevice),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_lifecycle() {
+        let mut sys = System::keystone_ii();
+        let space = sys.new_space();
+        let id = sys.open_device(space, MemifConfig::default()).unwrap();
+        assert!(sys.device(id).is_some());
+        assert!(sys.device(id).unwrap().is_idle());
+        let dev = sys.close_device(id).unwrap();
+        assert_eq!(dev.id, id);
+        assert!(sys.device(id).is_none());
+        assert!(matches!(
+            sys.close_device(id),
+            Err(MemifError::NoSuchDevice)
+        ));
+    }
+
+    #[test]
+    fn poll_threshold_resolution() {
+        let mut sys = System::keystone_ii();
+        let space = sys.new_space();
+        let id = sys.open_device(space, MemifConfig::default()).unwrap();
+        assert_eq!(
+            sys.device(id).unwrap().poll_threshold(512 * 1024),
+            512 * 1024
+        );
+        let forced = MemifConfig {
+            poll_threshold_bytes: Some(0),
+            ..MemifConfig::default()
+        };
+        let id2 = sys.open_device(space, forced).unwrap();
+        assert_eq!(sys.device(id2).unwrap().poll_threshold(512 * 1024), 0);
+    }
+
+    #[test]
+    fn devices_have_isolated_regions() {
+        let mut sys = System::keystone_ii();
+        let space = sys.new_space();
+        let a = sys.open_device(space, MemifConfig::default()).unwrap();
+        let b = sys.open_device(space, MemifConfig::default()).unwrap();
+        let slot = sys.device(a).unwrap().region.alloc_slot().unwrap();
+        let _ = slot;
+        assert_eq!(
+            sys.device(a).unwrap().region.stats().free + 1,
+            sys.device(b).unwrap().region.stats().free,
+            "allocating in one device leaves the other untouched"
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Operations 4–5 of Table 1: Release (with race detection) and Notify,
+//! on the interrupt path or the kernel thread's polling path (§5.4).
+
+use memif_hwsim::dma::TransferId;
+use memif_hwsim::{Context, Phase, Sim, SimDuration, SimTime};
+use memif_lockfree::{MovReq, MoveStatus, QueueId, SlotIndex};
+
+use crate::config::RaceMode;
+use crate::device::{CompletionRecord, DeviceId, Inflight};
+use crate::driver::{dev, dev_mut, kthread};
+use crate::system::System;
+
+/// Runs when the DMA engine finishes a device's transfer.
+pub(crate) fn on_dma_complete(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    transfer: TransferId,
+) {
+    // The bytes materialize now: perform the programmed copies.
+    let Some(index) = dev(sys, id)
+        .inflight
+        .iter()
+        .position(|i| i.transfer == Some(transfer))
+    else {
+        return; // aborted concurrently
+    };
+    let segments = dev(sys, id).inflight[index].segments.clone();
+    for seg in &segments {
+        sys.phys.copy(seg.src, seg.dst, seg.bytes);
+    }
+    sys.dma.finish(transfer);
+    crate::driver::exec::release_tc(sys, sim);
+
+    // The request stays registered (so a trapping write can still find
+    // and abort it) until the Release event actually runs; it is pulled
+    // out by token there. Marking it completed frees its pipeline slot.
+    let inflight = &mut dev_mut(sys, id).inflight[index];
+    inflight.completed = true;
+    let token = inflight.token;
+    let req_id = inflight.req.id;
+    let interrupt_mode = inflight.interrupt_mode;
+
+    if interrupt_mode {
+        // Interrupt path: Release and Notify run in the handler — legal
+        // only because detection freed Release of sleepable locks (§5.2)
+        // — then the kernel thread is woken. The notification lands
+        // after the interrupt entry has been paid.
+        let irq_cost = sys.cost.interrupt;
+        sys.meter.charge(Context::Interrupt, irq_cost);
+        {
+            let stats = &mut dev_mut(sys, id).stats;
+            stats.interrupts += 1;
+            stats.phases.add(Phase::Interface, irq_cost);
+        }
+        sys.trace_emit(
+            sim.now(),
+            irq_cost,
+            Context::Interrupt,
+            "interrupt entry",
+            Some(req_id),
+        );
+        sim.schedule_after(irq_cost, move |sys: &mut System, sim| {
+            let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+                return; // aborted in the completion window
+            };
+            let inflight = dev_mut(sys, id).inflight.remove(index);
+            let release_cost = release_and_notify(sys, sim, id, inflight, Context::Interrupt);
+            sys.trace_emit(
+                sim.now(),
+                release_cost,
+                Context::Interrupt,
+                "ops 4-5: release+notify",
+                Some(req_id),
+            );
+            let wakeup = sys.cost.kthread_wakeup;
+            sys.meter.charge(Context::KernelThread, wakeup);
+            sim.schedule_after(release_cost + wakeup, move |sys: &mut System, sim| {
+                kthread::run(sys, sim, id);
+            });
+        });
+    } else {
+        // Polling path: the kernel thread slept through the (short)
+        // transfer and wakes right about now from its timed sleep — no
+        // device interrupt was taken, but the timer wakeup itself is not
+        // free.
+        let poll_cost = sys.cost.queue_op + sys.cost.kthread_wakeup;
+        sys.meter.charge(Context::KernelThread, poll_cost);
+        {
+            let stats = &mut dev_mut(sys, id).stats;
+            stats.polled += 1;
+            stats.phases.add(Phase::Interface, poll_cost);
+        }
+        // The worker may still be preparing another request (pipelining);
+        // Release must wait for its CPU — one thread, one activity.
+        let ready_at = (sim.now() + poll_cost).max(dev(sys, id).kthread_busy_until);
+        sys.trace_emit(
+            sim.now(),
+            poll_cost,
+            Context::KernelThread,
+            "kthread wakes from timed sleep",
+            Some(req_id),
+        );
+        dev_mut(sys, id).kthread_busy_until = ready_at;
+        sim.schedule_at(ready_at, move |sys: &mut System, sim| {
+            let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+                return; // aborted in the completion window
+            };
+            let inflight = dev_mut(sys, id).inflight.remove(index);
+            let release_cost = release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+            sys.trace_emit(
+                sim.now(),
+                release_cost,
+                Context::KernelThread,
+                "ops 4-5: release+notify",
+                Some(req_id),
+            );
+            // Release/Notify occupies the worker's CPU.
+            let busy_until = sim.now() + release_cost;
+            let device = dev_mut(sys, id);
+            device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
+            sim.schedule_after(release_cost, move |sys: &mut System, sim| {
+                kthread::run(sys, sim, id);
+            });
+        });
+    }
+}
+
+/// Op 4 + Op 5 for one completed request. Returns the CPU cost.
+fn release_and_notify(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    inflight: Inflight,
+    ctx: Context,
+) -> SimDuration {
+    let Inflight {
+        req,
+        slot,
+        pages,
+        page_size,
+        dma_started_at,
+        ..
+    } = inflight;
+    let race_mode = crate::driver::dev(sys, id).config.race_mode;
+    let owner = crate::driver::dev(sys, id).owner;
+
+    let mut cost = SimDuration::ZERO;
+    let mut races = 0u64;
+
+    // Op 4 — Release (migration only; replication needs no VM work).
+    for page in &pages {
+        match race_mode {
+            RaceMode::DetectFail => {
+                // Clear the young bit with a CAS; failure means the entry
+                // was disturbed during the transfer: a race. No TLB flush
+                // on success — the semi-final PTE never entered the TLB.
+                let space = &mut sys.spaces[owner.0];
+                debug_assert!(
+                    !space.tlb().contains(page.vaddr, page_size)
+                        || space.table().peek(page.vaddr, page_size) != Some(page.installed),
+                    "semi-final PTE must not be TLB-resident unless referenced"
+                );
+                if let Err(found) =
+                    space
+                        .table_mut()
+                        .compare_exchange(page.vaddr, page.installed, page.final_pte)
+                {
+                    if std::env::var_os("MEMIF_DEBUG_RACE").is_some() {
+                        eprintln!(
+                            "RACE at {}: installed={} found={} final={}",
+                            page.vaddr, page.installed, found, page.final_pte
+                        );
+                    }
+                    races += 1;
+                }
+                cost += sys.cost.pte_cas;
+            }
+            RaceMode::DetectRecover => {
+                // Writes during the transfer trapped and aborted the
+                // migration, so a surviving entry can differ from the
+                // semi-final only by a harmless *read* (the reference
+                // cleared young). Finalize either form; anything else is
+                // an anomaly — report it, but always remove the write
+                // trap so the page is not protected forever.
+                let space = &mut sys.spaces[owner.0];
+                let read_disturbed = page.installed.with_young(false);
+                let finalized = space
+                    .table_mut()
+                    .compare_exchange(page.vaddr, page.installed, page.final_pte)
+                    .is_ok()
+                    || space
+                        .table_mut()
+                        .compare_exchange(page.vaddr, read_disturbed, page.final_pte)
+                        .is_ok();
+                if !finalized {
+                    let found = space
+                        .table()
+                        .peek(page.vaddr, page_size)
+                        .unwrap_or(memif_mm::Pte::EMPTY);
+                    space
+                        .table_mut()
+                        .replace(page.vaddr, found.with_watch(false))
+                        .expect("entry exists");
+                    races += 1;
+                }
+                cost += sys.cost.pte_cas;
+            }
+            RaceMode::Prevent => {
+                // Linux-style: swap the migration entry for the final PTE
+                // and pay the second TLB flush.
+                let space = &mut sys.spaces[owner.0];
+                space
+                    .table_mut()
+                    .replace(page.vaddr, page.final_pte)
+                    .expect("entry exists");
+                space.tlb_mut().flush_page(page.vaddr, page_size);
+                cost += sys.cost.pte_update_with_flush();
+            }
+        }
+        // Remote mappers (shared pages): rewrite their migration
+        // entries to the new frame; they were blocked for the window.
+        for (sid, rva) in &page.remote {
+            let rspace = &mut sys.spaces[sid.0];
+            rspace
+                .table_mut()
+                .replace(*rva, page.final_pte)
+                .expect("remote migration entry present");
+            rspace.tlb_mut().flush_page(*rva, page_size);
+            cost += sys.cost.pte_update_with_flush();
+            // Drop one old-frame reference per remote mapper.
+            let _ = sys.alloc.free(page.old_frame);
+        }
+        let freed = sys.alloc.free(page.old_frame).is_ok();
+        if freed && sys.alloc.frame_info(page.old_frame).is_none() {
+            sys.phys.discard(page.old_frame, page_size.bytes());
+        }
+        cost += sys.cost.page_free;
+    }
+    if !pages.is_empty() {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.phases.add(Phase::Release, cost);
+        stats.races_detected += races;
+    }
+    sys.meter.charge(ctx, cost);
+
+    // Races are program errors under proceed-and-fail: the application
+    // receives the equivalent of a SEGFAULT through the failure queue.
+    let status = if races > 0 {
+        MoveStatus::Raced
+    } else {
+        MoveStatus::Done
+    };
+    cost += notify(sys, sim, id, slot, req, status, dma_started_at, ctx);
+    cost
+}
+
+/// Op 5 — Notify: posts the completion to the application without any
+/// user/kernel crossing, logs it, and wakes sleeping pollers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn notify(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    slot: SlotIndex,
+    mut req: MovReq,
+    status: MoveStatus,
+    dma_started_at: Option<SimTime>,
+    ctx: Context,
+) -> SimDuration {
+    req.status = status;
+    let cost = sys.cost.queue_op;
+    sys.meter.charge(ctx, cost);
+
+    let now = sim.now();
+    let device = dev_mut(sys, id);
+    let queue = if status.is_failure() {
+        QueueId::CompletionErr
+    } else {
+        QueueId::CompletionOk
+    };
+    device
+        .region
+        .enqueue(queue, slot, &req)
+        .expect("slot owned by driver");
+    device.stats.phases.add(Phase::Notify, cost);
+
+    let submitted_at = device.submit_times.remove(&req.id).unwrap_or(now);
+    device.log.push(CompletionRecord {
+        req_id: req.id,
+        kind: req.kind,
+        bytes: req.len_bytes(),
+        submitted_at,
+        dma_started_at,
+        completed_at: now,
+        status,
+    });
+    if status.is_failure() {
+        device.stats.failed += 1;
+    } else {
+        device.stats.completed += 1;
+        device.stats.bytes_moved += req.len_bytes();
+    }
+
+    // Wake anyone sleeping in poll() — the notification itself needed no
+    // syscall, unlike epoll/kqueue (§7).
+    let wakers = std::mem::take(&mut device.pollers);
+    for waker in wakers {
+        sim.schedule_after(SimDuration::ZERO, waker);
+    }
+    cost
+}

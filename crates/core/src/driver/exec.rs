@@ -1,0 +1,468 @@
+//! Operations 1–3 of Table 1: Prep (gang lookup), Remap, DMA config and
+//! launch.
+
+use memif_hwsim::dma::SgSegment;
+use memif_hwsim::{Context, Phase, SimDuration};
+use memif_lockfree::{Dequeued, MovReq, MoveKind, MoveStatus};
+use memif_mm::{PageSize, Pte, VirtAddr};
+
+use crate::config::RaceMode;
+use crate::device::{DeviceId, Inflight, PagePlan};
+
+/// How long the driver backs off before re-attempting a request that
+/// found every PaRAM descriptor busy.
+const RETRY_BACKOFF: SimDuration = SimDuration::from_us(20);
+use crate::driver::{complete, dev, dev_mut};
+use crate::system::System;
+
+/// What happened to a request handed to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecOutcome {
+    /// A DMA transfer was launched; completion continues asynchronously.
+    Launched,
+    /// The request was rejected and its failure notification delivered.
+    Rejected,
+}
+
+struct Plan {
+    segments: Vec<SgSegment>,
+    pages: Vec<PagePlan>,
+    page_size: PageSize,
+    prep_cost: SimDuration,
+    remap_cost: SimDuration,
+}
+
+/// Runs operations 1–3 for `deq` in context `ctx`. Returns the kernel
+/// time consumed (the caller resumes after it) and the outcome.
+pub(crate) fn execute_request(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    deq: Dequeued,
+    ctx: Context,
+) -> (SimDuration, ExecOutcome) {
+    let req = deq.req;
+    let mut elapsed = SimDuration::ZERO;
+
+    let plan = match plan_request(sys, id, &req) {
+        Ok(p) => p,
+        Err((status, cost)) => {
+            elapsed += cost;
+            sys.meter.charge(ctx, cost);
+            complete::notify(sys, sim, id, deq.slot, req, status, None, ctx);
+            return (elapsed, ExecOutcome::Rejected);
+        }
+    };
+
+    // Charge Prep and Remap.
+    sys.meter.charge(ctx, plan.prep_cost + plan.remap_cost);
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.phases.add(Phase::Prep, plan.prep_cost);
+        stats.phases.add(Phase::Remap, plan.remap_cost);
+    }
+    elapsed += plan.prep_cost + plan.remap_cost;
+
+    // Op 3: program the scatter-gather chain. The engine-level reuse
+    // switch follows the device's configuration (ablation A1).
+    sys.dma
+        .set_reuse_enabled(dev(sys, id).config.descriptor_reuse);
+    let cfg = match sys.dma.configure(plan.segments.clone(), &sys.cost) {
+        Ok(cfg) => cfg,
+        Err(memif_hwsim::dma::ChainError::AllBusy) => {
+            // Every descriptor is tied up in other tenants' in-flight
+            // transfers. A real driver waits for the PaRAM; undo the
+            // remap and retry the whole request shortly.
+            undo_remap(sys, id, &plan);
+            let retry = Dequeued {
+                slot: deq.slot,
+                req,
+                color: deq.color,
+            };
+            sim.schedule_after(RETRY_BACKOFF, move |sys: &mut System, sim| {
+                let _ = execute_request(sys, sim, id, retry, ctx);
+            });
+            return (elapsed, ExecOutcome::Launched);
+        }
+        Err(memif_hwsim::dma::ChainError::TooLarge { .. }) => {
+            // Cannot ever fit (validation bounds nr_pages by the pool
+            // size, so this is belt-and-braces).
+            undo_remap(sys, id, &plan);
+            complete::notify(sys, sim, id, deq.slot, req, MoveStatus::Invalid, None, ctx);
+            return (elapsed, ExecOutcome::Rejected);
+        }
+    };
+    sys.meter.charge(ctx, cfg.config_cost);
+    elapsed += cfg.config_cost;
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.phases.add(Phase::DmaConfig, cfg.config_cost);
+    }
+
+    let bytes = cfg.bytes;
+    let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);
+    let interrupt_mode = bytes >= threshold;
+
+    let device = dev_mut(sys, id);
+    let token = device.next_token;
+    device.next_token += 1;
+    device.inflight.push(Inflight {
+        token,
+        req,
+        slot: deq.slot,
+        transfer: None,
+        cfg: Some(cfg),
+        segments: plan.segments,
+        pages: plan.pages,
+        page_size: plan.page_size,
+        interrupt_mode,
+        dma_started_at: None,
+        completed: false,
+    });
+
+    sys.trace_emit(
+        sim.now(),
+        elapsed,
+        ctx,
+        format!("ops 1-3: prep+remap+cfg ({} pages)", req.nr_pages),
+        Some(req.id),
+    );
+    // The transfer begins once the CPU-side work above has elapsed.
+    sim.schedule_after(elapsed, move |sys: &mut System, sim| {
+        launch(sys, sim, id, token)
+    });
+    (elapsed, ExecOutcome::Launched)
+}
+
+pub(crate) fn launch(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+) {
+    let now = sim.now();
+    if sys.device(id).is_none() || dev(sys, id).inflight.iter().all(|i| i.token != token) {
+        // Aborted before launch (recover mode): free the slot this
+        // launch would have taken for whoever is waiting.
+        launch_next_waiting(sys, sim);
+        return;
+    }
+    // Table 2: the engine has a fixed number of transfer controllers;
+    // a launch with all of them busy queues until one frees.
+    let cap = sys.cost.dma_transfer_controllers as usize;
+    if sys.tc_active >= cap {
+        sys.tc_waiting.push_back((id, token));
+        sys.trace_emit(
+            now,
+            memif_hwsim::SimDuration::ZERO,
+            Context::DmaEngine,
+            "transfer queued: all transfer controllers busy",
+            dev(sys, id)
+                .inflight
+                .iter()
+                .find(|i| i.token == token)
+                .map(|i| i.req.id),
+        );
+        return;
+    }
+    sys.tc_active += 1;
+    let Some(inflight) = dev_mut(sys, id)
+        .inflight
+        .iter_mut()
+        .find(|i| i.token == token)
+    else {
+        unreachable!("checked above");
+    };
+    let cfg = inflight.cfg.take().expect("launch runs once");
+    inflight.dma_started_at = Some(now);
+    let (src, dst) = (cfg.segments[0].src, cfg.segments[0].dst);
+    let src_node = sys.node_of(src).expect("segment in a known bank");
+    let dst_node = sys.node_of(dst).expect("segment in a known bank");
+    let route = sys.dma_route(src_node, dst_node);
+    let demand = sys.cost.dma_engine_bw_gbps;
+    let transfer = sys.dma.launch(
+        &mut sys.flows,
+        sim,
+        &route,
+        &cfg,
+        demand,
+        move |sys, sim, tid| {
+            complete::on_dma_complete(sys, sim, id, tid);
+        },
+    );
+    let req_id = dev(sys, id)
+        .inflight
+        .iter()
+        .find(|i| i.token == token)
+        .map(|i| i.req.id);
+    dev_mut(sys, id)
+        .inflight
+        .iter_mut()
+        .find(|i| i.token == token)
+        .expect("still inflight")
+        .transfer = Some(transfer);
+    // Account the engine's busy time for utilization plots.
+    let wall = SimDuration::for_bytes(cfg.bytes, demand) + cfg.engine_overhead;
+    sys.meter.charge(Context::DmaEngine, wall);
+    sys.trace_emit(now, wall, Context::DmaEngine, "DMA transfer", req_id);
+}
+
+/// Frees one transfer-controller slot and launches the next waiting
+/// transfer, if any. Called from every completion/abort path.
+pub(crate) fn release_tc(sys: &mut System, sim: &mut memif_hwsim::Sim<System>) {
+    sys.tc_active = sys.tc_active.saturating_sub(1);
+    launch_next_waiting(sys, sim);
+}
+
+fn launch_next_waiting(sys: &mut System, sim: &mut memif_hwsim::Sim<System>) {
+    if let Some((id, token)) = sys.tc_waiting.pop_front() {
+        launch(sys, sim, id, token);
+    }
+}
+
+/// Validates a request and builds its execution plan.
+#[allow(clippy::type_complexity)]
+fn plan_request(
+    sys: &mut System,
+    id: DeviceId,
+    req: &MovReq,
+) -> Result<Plan, (MoveStatus, SimDuration)> {
+    let device = dev(sys, id);
+    let owner = device.owner;
+    let gang = device.config.gang_lookup;
+    let race_mode = device.config.race_mode;
+    let validate_cost = sys.cost.queue_op;
+
+    let Some(page_size) = PageSize::from_shift(req.page_shift) else {
+        return Err((MoveStatus::Invalid, validate_cost));
+    };
+    if req.nr_pages == 0 || req.nr_pages as usize > sys.dma.max_segments() {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+    let src = VirtAddr::new(req.src_base);
+    let len = u64::from(req.nr_pages) * page_size.bytes();
+    if !src.is_aligned(page_size) {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+
+    let space = sys.space(owner);
+    let Some(vma) = space.vma_covering(src, len) else {
+        return Err((MoveStatus::Invalid, validate_cost));
+    };
+    if vma.page_size != page_size {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+
+    match req.kind {
+        MoveKind::Replicate => plan_replication(sys, owner, req, page_size, gang),
+        MoveKind::Migrate => plan_migration(sys, owner, req, page_size, gang, race_mode),
+    }
+}
+
+fn lookup_cost(sys: &System, stats: memif_mm::WalkStats) -> SimDuration {
+    sys.cost.pt_walk_vertical * u64::from(stats.vertical)
+        + sys.cost.pt_walk_horizontal * u64::from(stats.horizontal)
+}
+
+fn plan_replication(
+    sys: &mut System,
+    owner: crate::system::SpaceId,
+    req: &MovReq,
+    page_size: PageSize,
+    gang: bool,
+) -> Result<Plan, (MoveStatus, SimDuration)> {
+    let src = VirtAddr::new(req.src_base);
+    let dst = VirtAddr::new(req.dst_base);
+    let len = u64::from(req.nr_pages) * page_size.bytes();
+    let validate_cost = sys.cost.queue_op;
+    if !dst.is_aligned(page_size) {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+    // Overlapping replication has no sane page-wise semantics; reject.
+    if src.as_u64() < dst.offset(len).as_u64() && dst.as_u64() < src.offset(len).as_u64() {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+    let space = sys.space(owner);
+    if space.vma_covering(dst, len).map(|v| v.page_size) != Some(page_size) {
+        return Err((MoveStatus::Invalid, validate_cost));
+    }
+
+    // Op 1 for both regions: replication looks up source and destination
+    // descriptors but manages no virtual memory (§3).
+    let (src_ptes, s1) = space.lookup_range(src, req.nr_pages, page_size, gang);
+    let (dst_ptes, s2) = space.lookup_range(dst, req.nr_pages, page_size, gang);
+    let mut prep_cost = lookup_cost(sys, s1) + lookup_cost(sys, s2);
+    prep_cost += sys.cost.gang_bookkeeping * u64::from(req.nr_pages);
+
+    let mut segments = Vec::with_capacity(req.nr_pages as usize);
+    for (s, d) in src_ptes.iter().zip(&dst_ptes) {
+        match (s, d) {
+            (Some(sp), Some(dp)) if sp.is_present() && dp.is_present() => {
+                segments.push(SgSegment {
+                    src: sp.frame(),
+                    dst: dp.frame(),
+                    bytes: page_size.bytes(),
+                });
+            }
+            _ => return Err((MoveStatus::Invalid, prep_cost)),
+        }
+    }
+    Ok(Plan {
+        segments,
+        pages: Vec::new(),
+        page_size,
+        prep_cost,
+        remap_cost: SimDuration::ZERO,
+    })
+}
+
+fn plan_migration(
+    sys: &mut System,
+    owner: crate::system::SpaceId,
+    req: &MovReq,
+    page_size: PageSize,
+    gang: bool,
+    race_mode: RaceMode,
+) -> Result<Plan, (MoveStatus, SimDuration)> {
+    let src = VirtAddr::new(req.src_base);
+    let dst_node = memif_hwsim::NodeId(req.dst_node);
+    if sys.topo.node(dst_node).is_none() {
+        return Err((MoveStatus::Invalid, sys.cost.queue_op));
+    }
+
+    // Op 1: gang page lookup.
+    let (ptes, walk) = sys
+        .space(owner)
+        .lookup_range(src, req.nr_pages, page_size, gang);
+    let mut prep_cost = lookup_cost(sys, walk);
+    prep_cost += sys.cost.gang_bookkeeping * u64::from(req.nr_pages);
+    let mut originals = Vec::with_capacity(req.nr_pages as usize);
+    for (i, pte) in ptes.iter().enumerate() {
+        match pte {
+            Some(p) if p.is_present() => {
+                originals.push((src.offset(i as u64 * page_size.bytes()), *p));
+            }
+            _ => return Err((MoveStatus::Invalid, prep_cost)),
+        }
+    }
+
+    // Op 2 (first half): allocate every destination page up front so a
+    // mid-request exhaustion leaves the address space untouched.
+    let mut new_frames = Vec::with_capacity(originals.len());
+    for _ in &originals {
+        match sys.alloc.alloc(dst_node, page_size) {
+            Ok(f) => new_frames.push(f),
+            Err(_) => {
+                for f in new_frames {
+                    let _ = sys.alloc.free(f);
+                }
+                let cost = prep_cost + sys.cost.page_alloc * u64::from(req.nr_pages);
+                return Err((MoveStatus::OutOfMemory, cost));
+            }
+        }
+    }
+
+    // Op 2 (second half): install the in-flight entries. Shared pages
+    // (frames also mapped by other spaces) are discovered through the
+    // reverse map; remote mappers get Linux-style migration entries for
+    // the transfer window and are rewritten at Release (§6.7 extension).
+    let mut pages = Vec::with_capacity(originals.len());
+    let mut remap_cost = sys.cost.page_alloc * originals.len() as u64;
+    for ((vaddr, original), new_frame) in originals.into_iter().zip(new_frames) {
+        let shared = sys
+            .alloc
+            .frame_info(original.frame())
+            .is_some_and(|f| f.refcount > 1);
+        let remote: Vec<(crate::system::SpaceId, VirtAddr)> = if shared {
+            remap_cost += sys.cost.page_bookkeeping; // rmap walk
+            sys.rmap_mappers(original.frame(), page_size)
+                .into_iter()
+                .filter(|(s, v)| !(*s == owner && *v == vaddr))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let final_pte = original
+            .with_frame(new_frame)
+            .with_young(false)
+            .with_watch(false);
+        let installed = match race_mode {
+            // Semi-final PTE: identical to final except young set (§5.2).
+            RaceMode::DetectFail => final_pte.with_young(true),
+            // Recover mode additionally write-watches the page.
+            RaceMode::DetectRecover => final_pte.with_young(true).with_watch(true),
+            // Ablation: Linux-style migration entry blocks accessors.
+            RaceMode::Prevent => Pte::migration_entry(page_size),
+        };
+        let space = &mut sys.spaces[owner.0];
+        space
+            .table_mut()
+            .replace(vaddr, installed)
+            .expect("entry present above");
+        space.tlb_mut().flush_page(vaddr, page_size);
+        remap_cost += sys.cost.pte_update_with_flush();
+        for (sid, rva) in &remote {
+            // The new frame gains one reference per remote mapper up
+            // front, so an abort can roll back uniformly.
+            sys.alloc.get_ref(new_frame).expect("new frame live");
+            let rspace = &mut sys.spaces[sid.0];
+            rspace
+                .table_mut()
+                .replace(*rva, Pte::migration_entry(page_size))
+                .expect("remote mapping present");
+            rspace.tlb_mut().flush_page(*rva, page_size);
+            remap_cost += sys.cost.pte_update_with_flush();
+        }
+        pages.push(PagePlan {
+            vaddr,
+            old_frame: original.frame(),
+            new_frame,
+            original,
+            installed,
+            final_pte,
+            remote,
+        });
+    }
+
+    let segments = pages
+        .iter()
+        .map(|p| SgSegment {
+            src: p.old_frame,
+            dst: p.new_frame,
+            bytes: page_size.bytes(),
+        })
+        .collect();
+    Ok(Plan {
+        segments,
+        pages,
+        page_size,
+        prep_cost,
+        remap_cost,
+    })
+}
+
+/// Rolls Remap back after a post-remap failure (descriptor exhaustion).
+fn undo_remap(sys: &mut System, id: DeviceId, plan: &Plan) {
+    let owner = dev(sys, id).owner;
+    for page in &plan.pages {
+        let space = &mut sys.spaces[owner.0];
+        space
+            .table_mut()
+            .replace(page.vaddr, page.original)
+            .expect("entry exists");
+        space.tlb_mut().flush_page(page.vaddr, plan.page_size);
+        for (sid, rva) in &page.remote {
+            let restored = page.original.with_young(false);
+            let rspace = &mut sys.spaces[sid.0];
+            rspace
+                .table_mut()
+                .replace(*rva, restored)
+                .expect("remote entry exists");
+            rspace.tlb_mut().flush_page(*rva, plan.page_size);
+            let _ = sys.alloc.free(page.new_frame); // drop remote's ref
+        }
+    }
+    for page in &plan.pages {
+        let _ = sys.alloc.free(page.new_frame);
+    }
+}

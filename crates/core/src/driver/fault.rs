@@ -1,0 +1,122 @@
+//! The proceed-and-recover fault handler (§5.2).
+//!
+//! In [`RaceMode::DetectRecover`](crate::RaceMode::DetectRecover) the
+//! Remap step write-watches migrating pages. A store that traps lands
+//! here: the handler restores the original mapping for the whole
+//! request, drops the outstanding DMA transfer, and enqueues the aborted
+//! `mov_req` so the application learns of the abort. "The CPU's new
+//! write that causes the race will thus be preserved" — the caller
+//! retries the store against the restored old page and it succeeds.
+
+use memif_hwsim::{Context, Phase, Sim};
+use memif_lockfree::MoveStatus;
+use memif_mm::VirtAddr;
+
+use crate::device::DeviceId;
+use crate::driver::{complete, dev, dev_mut, kthread};
+use crate::system::{SpaceId, System};
+
+/// Handles a write-protection fault at `vaddr` in `space`. Returns
+/// `true` if an in-flight migration was aborted (the faulting store
+/// should be retried); `false` if no migration covered the address.
+pub fn handle_write_fault(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    space: SpaceId,
+    vaddr: VirtAddr,
+) -> bool {
+    // Find the device whose in-flight migration covers the fault.
+    let hit = sys.devices.iter().flatten().find_map(|d| {
+        if d.owner != space {
+            return None;
+        }
+        d.inflight.iter().find_map(|inflight| {
+            let covers = inflight.pages.iter().any(|p| {
+                p.vaddr <= vaddr && vaddr.as_u64() < p.vaddr.as_u64() + inflight.page_size.bytes()
+            });
+            covers.then_some((d.id, inflight.token))
+        })
+    });
+    let Some((id, token)) = hit else {
+        return false;
+    };
+    abort_inflight(sys, sim, id, token);
+    true
+}
+
+/// Aborts one in-flight migration: restores the original mapping, frees
+/// the new pages, cancels the DMA transfer, and delivers an `Aborted`
+/// notification. Runs in the faulting process's context.
+pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: DeviceId, token: u64) {
+    let index = dev(sys, id)
+        .inflight
+        .iter()
+        .position(|i| i.token == token)
+        .expect("fault hit an inflight request");
+    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let owner = dev(sys, id).owner;
+
+    // Drop the outstanding DMA transfer (it may not have launched yet,
+    // or may still be waiting for a transfer controller).
+    if let Some(transfer) = inflight.transfer {
+        if sys.dma.abort(&mut sys.flows, sim, transfer) {
+            crate::driver::exec::release_tc(sys, sim);
+        }
+    } else {
+        sys.tc_waiting
+            .retain(|(d, t)| !(*d == id && *t == inflight.token));
+    }
+
+    // Restore the original PTEs (including remote mappers of shared
+    // pages) and release the would-be destination.
+    let mut cost = memif_hwsim::SimDuration::ZERO;
+    for page in &inflight.pages {
+        let space = &mut sys.spaces[owner.0];
+        space
+            .table_mut()
+            .replace(page.vaddr, page.original)
+            .expect("entry exists");
+        space.tlb_mut().flush_page(page.vaddr, inflight.page_size);
+        cost += sys.cost.pte_update_with_flush();
+        for (sid, rva) in &page.remote {
+            let restored = page.original.with_young(false);
+            let rspace = &mut sys.spaces[sid.0];
+            rspace
+                .table_mut()
+                .replace(*rva, restored)
+                .expect("remote entry exists");
+            rspace.tlb_mut().flush_page(*rva, inflight.page_size);
+            cost += sys.cost.pte_update_with_flush();
+            let _ = sys.alloc.free(page.new_frame); // remote's reference
+        }
+        let _ = sys.alloc.free(page.new_frame);
+        if sys.alloc.frame_info(page.new_frame).is_none() {
+            sys.phys.discard(page.new_frame, inflight.page_size.bytes());
+        }
+        cost += sys.cost.page_free;
+    }
+    sys.meter.charge(Context::Syscall, cost);
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.aborts += 1;
+        stats.phases.add(Phase::Release, cost);
+    }
+
+    complete::notify(
+        sys,
+        sim,
+        id,
+        inflight.slot,
+        inflight.req,
+        MoveStatus::Aborted,
+        inflight.dma_started_at,
+        Context::Syscall,
+    );
+
+    // Let the worker move on to queued requests.
+    let wakeup = sys.cost.kthread_wakeup;
+    sys.meter.charge(Context::KernelThread, wakeup);
+    sim.schedule_after(cost + wakeup, move |sys: &mut System, sim| {
+        kthread::run(sys, sim, id);
+    });
+}

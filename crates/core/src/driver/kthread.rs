@@ -1,0 +1,110 @@
+//! The memif kernel worker thread (§5.4).
+//!
+//! Once woken, the worker issues all queued requests — from the
+//! submission queue and directly from the staging queue — one at a time,
+//! continuing from each completion. When both queues are drained it
+//! recolors the staging queue **blue**, handing flushing responsibility
+//! back to the application, and goes back to sleep. Running on a
+//! schedulable kernel thread (not in the application's context) shields
+//! the data-intensive application from context switches and exceptions,
+//! and permits the sleepable operations Remap needs.
+
+use memif_hwsim::{Context, Sim};
+use memif_lockfree::{Color, QueueId};
+
+use crate::device::DeviceId;
+use crate::driver::exec::execute_request;
+use crate::driver::{dev, dev_mut};
+use crate::system::System;
+
+/// One scheduling round of the worker: issue the next queued request —
+/// if the pipeline has room — or go idle.
+///
+/// With `pipeline_depth` > 1 the worker prepares request *k+1* while
+/// request *k*'s transfer is still on the engine (the EDMA3's multiple
+/// transfer controllers run them concurrently), overlapping the
+/// driver's CPU time with DMA time.
+pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
+    if sys.device(id).is_none() {
+        return; // device closed while the wakeup was in flight
+    }
+    let depth = dev(sys, id).config.pipeline_depth.max(1);
+    if dev(sys, id)
+        .inflight
+        .iter()
+        .filter(|i| !i.completed)
+        .count()
+        >= depth
+    {
+        return; // pipeline full; a completion re-runs us
+    }
+    if sim.now() < dev(sys, id).kthread_busy_until {
+        // The worker's CPU is mid-preparation of an earlier request; its
+        // own continuation (scheduled for that instant) picks up the
+        // queues. One thread, one request at a time.
+        return;
+    }
+    dev_mut(sys, id).stats.kthread_wakeups += 1;
+
+    loop {
+        let queue_cost = sys.cost.queue_op;
+        sys.meter.charge(Context::KernelThread, queue_cost);
+
+        let device = dev(sys, id);
+        let next = device
+            .region
+            .dequeue(QueueId::Submission)
+            .expect("infallible")
+            .or_else(|| device.region.dequeue(QueueId::Staging).expect("infallible"));
+
+        match next {
+            Some(deq) => {
+                let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::KernelThread);
+                // Whether launched or rejected, the worker's CPU is busy
+                // for `elapsed`; it looks for more work afterwards (and
+                // issues it if the pipeline still has room).
+                dev_mut(sys, id).kthread_busy_until = sim.now() + elapsed;
+                sim.schedule_after(elapsed, move |sys: &mut System, sim| {
+                    run_continue(sys, sim, id);
+                });
+                return;
+            }
+            None => {
+                // Both queues drained: hand the flush duty back to the
+                // application. A failed recolor means new requests raced
+                // in — keep draining.
+                match dev(sys, id).region.set_color(QueueId::Staging, Color::Blue) {
+                    Ok(_) => {
+                        sys.trace_emit(
+                            sim.now(),
+                            memif_hwsim::SimDuration::ZERO,
+                            Context::KernelThread,
+                            "queues drained: staging recolored blue, kthread sleeps",
+                            None,
+                        );
+                        return; // idle; apps flush + ioctl from now on
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+}
+
+fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
+    // Continuation entry that does not re-count a wakeup.
+    if sys.device(id).is_none() {
+        return;
+    }
+    let depth = dev(sys, id).config.pipeline_depth.max(1);
+    let active = dev(sys, id)
+        .inflight
+        .iter()
+        .filter(|i| !i.completed)
+        .count();
+    if active >= depth || sim.now() < dev(sys, id).kthread_busy_until {
+        return;
+    }
+    dev_mut(sys, id).stats.kthread_wakeups = dev(sys, id).stats.kthread_wakeups.saturating_sub(1);
+    run(sys, sim, id);
+}

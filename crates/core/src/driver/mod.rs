@@ -1,0 +1,43 @@
+//! The memif driver: the kernel side of the service.
+//!
+//! Three execution paths serve requests (§5.4, Figure 5):
+//!
+//! * the **syscall path** ([`syscall::mov_one`]) — `ioctl(MOV_ONE)` runs
+//!   operations 1–3 for one queued request in the caller's process
+//!   context and returns as soon as the DMA transfer starts;
+//! * the **interrupt path** ([`complete`]) — the DMA completion
+//!   interrupt performs Release and Notify immediately (possible only
+//!   because race *detection* removed the sleepable-lock requirement)
+//!   and wakes the kernel thread;
+//! * the **kernel thread path** ([`kthread`]) — the woken worker drains
+//!   the submission and staging queues, switching between
+//!   interrupt-driven and polling completion at the 512 KB threshold,
+//!   and recolors the staging queue blue before going back to sleep.
+
+pub(crate) mod complete;
+pub(crate) mod exec;
+pub(crate) mod fault;
+pub(crate) mod kthread;
+pub(crate) mod syscall;
+
+use crate::device::{DeviceId, MemifDevice};
+use crate::system::System;
+
+/// Immutable device access for driver internals.
+///
+/// # Panics
+///
+/// Panics if the device has been closed: driver continuations are only
+/// scheduled while the device is open, and close refuses busy devices.
+pub(crate) fn dev(sys: &System, id: DeviceId) -> &MemifDevice {
+    sys.devices[id.0].as_ref().expect("device open")
+}
+
+/// Mutable device access for driver internals.
+///
+/// # Panics
+///
+/// Panics if the device has been closed (see [`dev`]).
+pub(crate) fn dev_mut(sys: &mut System, id: DeviceId) -> &mut MemifDevice {
+    sys.devices[id.0].as_mut().expect("device open")
+}

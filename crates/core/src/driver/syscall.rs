@@ -1,0 +1,55 @@
+//! The syscall path: `ioctl(MOV_ONE)` (§4.2, §5.4).
+//!
+//! "Entering the kernel, it dequeues a `mov_req` from the submission
+//! queue and executes the memif driver for the request. [...] it exits
+//! the kernel as soon as the resultant DMA transfer starts." The
+//! application thread pays exactly one crossing for an entire burst of
+//! asynchronous submissions.
+
+use memif_hwsim::{Context, Phase, Sim, SimDuration};
+use memif_lockfree::QueueId;
+
+use crate::device::DeviceId;
+use crate::driver::exec::execute_request;
+use crate::driver::{dev, dev_mut};
+use crate::system::System;
+
+/// Executes one `MOV_ONE` command in the calling process's context.
+/// Returns the time spent inside the kernel (crossing + ops 1–3).
+pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> SimDuration {
+    let crossing = sys.cost.syscall;
+    sys.meter.charge(Context::Syscall, crossing);
+    sys.trace_emit(
+        sim.now(),
+        crossing,
+        Context::Syscall,
+        "ioctl(MOV_ONE) enter",
+        None,
+    );
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.ioctls += 1;
+        stats.phases.add(Phase::Interface, crossing);
+    }
+
+    let queue_cost = sys.cost.queue_op;
+    sys.meter.charge(Context::Syscall, queue_cost);
+    let next = dev(sys, id)
+        .region
+        .dequeue(QueueId::Submission)
+        .expect("infallible");
+
+    match next {
+        Some(deq) => {
+            let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::Syscall);
+            // Wake the worker once the syscall's CPU time has passed: it
+            // drains the rest of the burst, pipelining the next
+            // request's preparation with the first transfer.
+            sim.schedule_after(elapsed, move |sys: &mut System, sim| {
+                crate::driver::kthread::run(sys, sim, id);
+            });
+            crossing + queue_cost + elapsed
+        }
+        None => crossing + queue_cost, // spurious kick: queue already drained
+    }
+}

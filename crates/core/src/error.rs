@@ -1,0 +1,83 @@
+//! Error types of the memif service.
+
+use memif_lockfree::RegionError;
+use memif_mm::VirtAddr;
+
+/// Errors surfaced by the memif user API and driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemifError {
+    /// No free request slots: too many requests in flight for the
+    /// region's capacity.
+    Exhausted,
+    /// The device id does not name an open instance.
+    NoSuchDevice,
+    /// The calling process does not own the device (one memif device is
+    /// owned by one process, §4.2).
+    NotOwner,
+    /// The device still has queued or in-flight work (close refused).
+    Busy,
+    /// A request region is not covered by one mapped VMA.
+    BadRange(VirtAddr),
+    /// A request address is not aligned to its page size.
+    Unaligned(VirtAddr),
+    /// The request's page size disagrees with the region's VMA.
+    PageSizeMismatch(VirtAddr),
+    /// The migration destination node is unknown or offline.
+    BadNode(u16),
+    /// A request covers zero pages.
+    EmptyRequest,
+    /// Source and destination of a replication overlap.
+    Overlap,
+    /// A shared-region slot failed validation.
+    Region(RegionError),
+}
+
+impl From<RegionError> for MemifError {
+    fn from(e: RegionError) -> Self {
+        match e {
+            RegionError::Exhausted => MemifError::Exhausted,
+            other => MemifError::Region(other),
+        }
+    }
+}
+
+impl std::fmt::Display for MemifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemifError::Exhausted => f.write_str("no free request slots"),
+            MemifError::NoSuchDevice => f.write_str("no such memif device"),
+            MemifError::NotOwner => f.write_str("device owned by another process"),
+            MemifError::Busy => f.write_str("device has queued or in-flight work"),
+            MemifError::BadRange(va) => write!(f, "region at {va} not mapped by one VMA"),
+            MemifError::Unaligned(va) => write!(f, "address {va} unaligned for its page size"),
+            MemifError::PageSizeMismatch(va) => {
+                write!(f, "request page size disagrees with the VMA at {va}")
+            }
+            MemifError::BadNode(n) => write!(f, "unknown destination node {n}"),
+            MemifError::EmptyRequest => f.write_str("request covers zero pages"),
+            MemifError::Overlap => f.write_str("replication source and destination overlap"),
+            MemifError::Region(e) => write!(f, "shared region: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MemifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(
+            MemifError::from(RegionError::Exhausted),
+            MemifError::Exhausted
+        );
+        let e = MemifError::from(RegionError::InvalidSlot(9));
+        assert!(matches!(e, MemifError::Region(_)));
+        assert!(!MemifError::Overlap.to_string().is_empty());
+        assert!(MemifError::BadRange(VirtAddr::new(0x123))
+            .to_string()
+            .contains("0x123"));
+    }
+}

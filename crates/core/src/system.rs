@@ -1,0 +1,444 @@
+//! The simulated machine: the world type all memif experiments run on.
+//!
+//! [`System`] bundles the hardware substrates (topology, physical
+//! memory, DMA engine, bandwidth flows, cost model), the memory manager
+//! (frame allocator plus per-process address spaces), the usage meter,
+//! and the open memif devices. Experiment scripts own a `System` and a
+//! [`Sim<System>`] and drive both.
+
+use memif_hwsim::dma::DmaEngine;
+use memif_hwsim::{
+    Context, CostModel, FlowSystem, NodeId, PhysAddr, PhysMem, ResourceId, Sim, SimDuration,
+    SimTime, Topology, UsageMeter,
+};
+use memif_mm::{AddressSpace, FrameAllocator};
+
+use crate::device::MemifDevice;
+
+/// One entry of the driver execution trace (Figure 5 reconstruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the activity started.
+    pub at: SimTime,
+    /// How long it occupied its context (zero for instant events).
+    pub duration: SimDuration,
+    /// The execution context (syscall / interrupt / kernel thread / DMA).
+    pub ctx: Context,
+    /// What happened.
+    pub label: String,
+    /// The request involved, if any.
+    pub req: Option<u64>,
+}
+
+/// Identifies a simulated process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceId(pub usize);
+
+/// Bandwidth resources registered with the flow network.
+#[derive(Debug)]
+pub struct Resources {
+    nodes: Vec<ResourceId>,
+    engine: ResourceId,
+}
+
+impl Resources {
+    /// The resource of a memory node's bus.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> ResourceId {
+        self.nodes[id.0 as usize]
+    }
+
+    /// The DMA engine's aggregate-bandwidth resource.
+    #[must_use]
+    pub fn engine(&self) -> ResourceId {
+        self.engine
+    }
+}
+
+/// The whole simulated machine.
+#[derive(Debug)]
+pub struct System {
+    /// Memory topology (booted; all banks online).
+    pub topo: Topology,
+    /// Per-operation cost model.
+    pub cost: CostModel,
+    /// Byte-backed physical memory.
+    pub phys: PhysMem,
+    /// Per-node frame allocator.
+    pub alloc: FrameAllocator,
+    /// Bandwidth-contention flows (DMA transfers, CPU streaming).
+    pub flows: FlowSystem<System>,
+    /// The EDMA3-model engine.
+    pub dma: DmaEngine,
+    /// CPU/engine busy-time accounting.
+    pub meter: UsageMeter,
+    /// Flow-resource handles.
+    pub resources: Resources,
+    pub(crate) devices: Vec<Option<MemifDevice>>,
+    pub(crate) spaces: Vec<AddressSpace>,
+    pub(crate) trace: Option<Vec<TraceEntry>>,
+    /// Transfers currently occupying a transfer controller.
+    pub(crate) tc_active: usize,
+    /// Launch-ready transfers waiting for a free controller, FIFO.
+    pub(crate) tc_waiting: std::collections::VecDeque<(crate::device::DeviceId, u64)>,
+}
+
+fn flows_accessor(sys: &mut System) -> &mut FlowSystem<System> {
+    &mut sys.flows
+}
+
+impl System {
+    /// A booted KeyStone II machine with the paper's cost profile.
+    #[must_use]
+    pub fn keystone_ii() -> Self {
+        Self::with_profile(Topology::keystone_ii(), CostModel::keystone_ii())
+    }
+
+    /// A machine over a custom topology and cost model. Boot completes
+    /// here: hidden banks come online and get allocators, reproducing
+    /// the §6.1 bring-up order.
+    #[must_use]
+    pub fn with_profile(mut topo: Topology, cost: CostModel) -> Self {
+        let pre_boot = FrameAllocator::new(&topo); // boot-visible banks only
+        let mut alloc = pre_boot;
+        topo.complete_boot();
+        for node in topo.online_nodes() {
+            if alloc.total_bytes(node.id) == 0 {
+                alloc.online_node(node);
+            }
+        }
+        let mut flows = FlowSystem::new(flows_accessor);
+        let nodes = topo
+            .all_nodes()
+            .iter()
+            .map(|n| flows.add_resource(n.name.clone(), n.bandwidth_gbps))
+            .collect();
+        let engine = flows.add_resource("dma-engine", cost.dma_engine_bw_gbps);
+        System {
+            topo,
+            cost,
+            phys: PhysMem::new(),
+            alloc,
+            flows,
+            dma: DmaEngine::new(),
+            meter: UsageMeter::new(),
+            resources: Resources { nodes, engine },
+            devices: Vec::new(),
+            spaces: Vec::new(),
+            trace: None,
+            tc_active: 0,
+            tc_waiting: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Transfers currently executing on the engine's transfer
+    /// controllers (diagnostics).
+    #[must_use]
+    pub fn active_transfers(&self) -> usize {
+        self.tc_active
+    }
+
+    /// Turns on driver execution tracing (the raw material for the
+    /// Figure 5 timeline). Costs nothing when off.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    pub(crate) fn trace_emit(
+        &mut self,
+        at: SimTime,
+        duration: SimDuration,
+        ctx: Context,
+        label: impl Into<String>,
+        req: Option<u64>,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry {
+                at,
+                duration,
+                ctx,
+                label: label.into(),
+                req,
+            });
+        }
+    }
+
+    /// Creates an empty process address space.
+    pub fn new_space(&mut self) -> SpaceId {
+        self.spaces.push(AddressSpace::new());
+        SpaceId(self.spaces.len() - 1)
+    }
+
+    /// The address space `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn space(&self, id: SpaceId) -> &AddressSpace {
+        &self.spaces[id.0]
+    }
+
+    /// Mutable access to the address space `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn space_mut(&mut self, id: SpaceId) -> &mut AddressSpace {
+        &mut self.spaces[id.0]
+    }
+
+    /// Maps an anonymous region in `space`, eagerly backed on `node` —
+    /// a convenience around [`AddressSpace::mmap_anonymous`] that
+    /// supplies the machine's frame allocator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`memif_mm::MmError`].
+    pub fn mmap(
+        &mut self,
+        space: SpaceId,
+        pages: u32,
+        page_size: memif_mm::PageSize,
+        node: NodeId,
+    ) -> Result<memif_mm::VirtAddr, memif_mm::MmError> {
+        self.spaces[space.0].mmap_anonymous(&mut self.alloc, pages, page_size, node)
+    }
+
+    /// Maps an anonymous region under an arbitrary allocation policy
+    /// (interleave/preferred/bind) with eager or lazy population — the
+    /// `mbind`-policy surface of the pseudo-NUMA abstraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`memif_mm::MmError`].
+    pub fn mmap_with(
+        &mut self,
+        space: SpaceId,
+        pages: u32,
+        page_size: memif_mm::PageSize,
+        policy: memif_mm::AllocPolicy,
+        populate: memif_mm::Populate,
+    ) -> Result<memif_mm::VirtAddr, memif_mm::MmError> {
+        self.spaces[space.0].mmap_with(&mut self.alloc, pages, page_size, policy, populate)
+    }
+
+    /// Writes bytes into `space` at `vaddr` through ordinary CPU
+    /// accesses (page faults are *not* recovered; see
+    /// [`System::cpu_write`] for proceed-and-recover semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`memif_mm::Fault`].
+    pub fn write_user(
+        &mut self,
+        space: SpaceId,
+        vaddr: memif_mm::VirtAddr,
+        data: &[u8],
+    ) -> Result<(), memif_mm::Fault> {
+        loop {
+            match self.spaces[space.0].write_bytes(&mut self.phys, vaddr, data) {
+                Err(memif_mm::Fault::DemandPage(page)) => {
+                    self.spaces[space.0]
+                        .handle_demand_fault(&mut self.alloc, page)
+                        .map_err(|_| memif_mm::Fault::Unmapped(page))?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Reads bytes from `space` at `vaddr` through ordinary CPU accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`memif_mm::Fault`].
+    pub fn read_user(
+        &mut self,
+        space: SpaceId,
+        vaddr: memif_mm::VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), memif_mm::Fault> {
+        loop {
+            match self.spaces[space.0].read_bytes(&self.phys, vaddr, buf) {
+                Err(memif_mm::Fault::DemandPage(page)) => {
+                    self.spaces[space.0]
+                        .handle_demand_fault(&mut self.alloc, page)
+                        .map_err(|_| memif_mm::Fault::Unmapped(page))?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Shares the region at `vaddr` in `from` into `to`: the new space
+    /// maps the *same* backing frames (reference counts bumped). The
+    /// substrate behind moving "pages shared among processes", which the
+    /// paper's prototype supported only primitively (§6.7); migration of
+    /// shared pages here updates every mapper through reverse mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`memif_mm::MmError::NoSuchRegion`] if `vaddr` does not start a
+    /// region in `from`, or mapping failures from the target space.
+    pub fn share_region(
+        &mut self,
+        from: SpaceId,
+        vaddr: memif_mm::VirtAddr,
+        to: SpaceId,
+    ) -> Result<memif_mm::VirtAddr, memif_mm::MmError> {
+        let (frames, page_size, node) = {
+            let space = &self.spaces[from.0];
+            let vma = space
+                .vma_at(vaddr)
+                .filter(|v| v.start == vaddr)
+                .ok_or(memif_mm::MmError::NoSuchRegion(vaddr))?
+                .clone();
+            let mut frames = Vec::with_capacity(vma.pages as usize);
+            for i in 0..vma.pages {
+                let va = vaddr.offset(u64::from(i) * vma.page_size.bytes());
+                let pa = space
+                    .translate(va)
+                    .ok_or(memif_mm::MmError::NoSuchRegion(va))?;
+                frames.push(pa);
+            }
+            (frames, vma.page_size, vma.node)
+        };
+        self.spaces[to.0].map_shared(&mut self.alloc, &frames, page_size, node)
+    }
+
+    /// Reverse mapping: every `(space, vaddr)` whose present entry maps
+    /// `frame` at `page_size` granularity. Linear in the machine's
+    /// mapped pages — fine at simulation scale; the cost model charges
+    /// per mapping found.
+    #[must_use]
+    pub fn rmap_mappers(
+        &self,
+        frame: PhysAddr,
+        page_size: memif_mm::PageSize,
+    ) -> Vec<(SpaceId, memif_mm::VirtAddr)> {
+        let mut out = Vec::new();
+        for (sid, space) in self.spaces.iter().enumerate() {
+            for vma in space.vmas() {
+                if vma.page_size != page_size {
+                    continue;
+                }
+                for i in 0..vma.pages {
+                    let va = vma.start.offset(u64::from(i) * page_size.bytes());
+                    if let Some(pte) = space.table().peek(va, page_size) {
+                        if pte.is_present() && pte.frame() == frame {
+                            out.push((SpaceId(sid), va));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits out the pieces the synchronous Linux-baseline path needs
+    /// (`memif-baseline` runs against the same machine state but outside
+    /// the event loop): the address spaces, the frame allocator, and
+    /// physical memory.
+    pub fn split_for_baseline(
+        &mut self,
+    ) -> (&mut Vec<AddressSpace>, &mut FrameAllocator, &mut PhysMem) {
+        (&mut self.spaces, &mut self.alloc, &mut self.phys)
+    }
+
+    /// The flow route a DMA transfer between two nodes occupies: the
+    /// engine plus each distinct node bus.
+    #[must_use]
+    pub fn dma_route(&self, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
+        let mut route = vec![self.resources.engine(), self.resources.node(src)];
+        if src != dst {
+            route.push(self.resources.node(dst));
+        }
+        route
+    }
+
+    /// Which node backs a physical address.
+    #[must_use]
+    pub fn node_of(&self, addr: PhysAddr) -> Option<NodeId> {
+        self.topo.node_of_addr(addr)
+    }
+
+    /// Runs the given closure as a fresh simulation over this system,
+    /// returning the closure's value (convenience for tests/examples).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, System};
+    ///
+    /// let mut sys = System::keystone_ii();
+    /// let space = sys.new_space();
+    /// let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+    /// let va = sys.mmap(space, 4, PageSize::Small4K, NodeId(0)).unwrap();
+    /// sys.run_sim(|sys, sim| {
+    ///     memif.submit(sys, sim, MoveSpec::migrate(va, 4, PageSize::Small4K, NodeId(1))).unwrap();
+    /// });
+    /// assert!(memif.retrieve_completed(&mut sys).unwrap().unwrap().status.is_ok());
+    /// ```
+    pub fn run_sim<T>(&mut self, f: impl FnOnce(&mut System, &mut Sim<System>) -> T) -> T {
+        let mut sim = Sim::new();
+        let out = f(self, &mut sim);
+        sim.run(self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memif_hwsim::MemoryKind;
+    use memif_mm::PageSize;
+
+    #[test]
+    fn keystone_boots_with_both_nodes() {
+        let sys = System::keystone_ii();
+        assert!(sys.topo.is_booted());
+        assert_eq!(sys.topo.online_nodes().count(), 2);
+        assert_eq!(
+            sys.alloc.total_bytes(NodeId(1)),
+            6 << 20,
+            "SRAM onlined post-boot"
+        );
+        assert_eq!(sys.alloc.total_bytes(NodeId(0)), 8 << 30);
+    }
+
+    #[test]
+    fn spaces_are_independent() {
+        let mut sys = System::keystone_ii();
+        let a = sys.new_space();
+        let b = sys.new_space();
+        let va = {
+            let alloc = &mut sys.alloc;
+            sys.spaces[a.0]
+                .mmap_anonymous(alloc, 2, PageSize::Small4K, NodeId(0))
+                .unwrap()
+        };
+        assert!(sys.space(a).translate(va).is_some());
+        assert!(sys.space(b).translate(va).is_none());
+    }
+
+    #[test]
+    fn dma_route_dedups_same_node() {
+        let sys = System::keystone_ii();
+        assert_eq!(sys.dma_route(NodeId(0), NodeId(1)).len(), 3);
+        assert_eq!(sys.dma_route(NodeId(0), NodeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn node_lookup_by_phys_addr() {
+        let sys = System::keystone_ii();
+        let fast = sys.topo.node_of_kind(MemoryKind::Fast).unwrap().base;
+        assert_eq!(sys.node_of(fast), Some(NodeId(1)));
+    }
+}

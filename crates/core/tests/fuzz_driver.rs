@@ -1,0 +1,178 @@
+//! Property-based driver fuzzing: random interleavings of submissions
+//! (valid and invalid), racing CPU accesses, simulation slices, and
+//! retrievals must never panic, leak, or corrupt — regardless of race
+//! mode or pipeline depth.
+
+use memif::{
+    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimDuration, SpaceId, System,
+};
+use memif_mm::AccessKind;
+use proptest::prelude::*;
+
+const REGIONS: usize = 3;
+const PAGES: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Migrate region `r` toward fast (`true`) or slow.
+    Migrate(usize, bool),
+    /// Replicate region `src` into region `dst`.
+    Replicate(usize, usize),
+    /// Submit something semantically invalid (unaligned / bad node /
+    /// out-of-range) — must surface as an async failure, nothing worse.
+    SubmitInvalid(u8),
+    /// Touch a byte of region `r` (may race with an in-flight move, may
+    /// hit migration entries or watch bits — all are legal outcomes).
+    Touch(usize, bool),
+    /// Let the machine run for a bounded slice.
+    RunFor(u32),
+    /// Drain the completion queues.
+    RetrieveAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..REGIONS), any::<bool>()).prop_map(|(r, f)| Op::Migrate(r, f)),
+        ((0..REGIONS), (0..REGIONS)).prop_map(|(a, b)| Op::Replicate(a, b)),
+        any::<u8>().prop_map(Op::SubmitInvalid),
+        ((0..REGIONS), any::<bool>()).prop_map(|(r, w)| Op::Touch(r, w)),
+        (1u32..2_000).prop_map(Op::RunFor),
+        Just(Op::RetrieveAll),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = MemifConfig> {
+    (
+        prop_oneof![
+            Just(RaceMode::DetectFail),
+            Just(RaceMode::DetectRecover),
+            Just(RaceMode::Prevent)
+        ],
+        1usize..4,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(race_mode, pipeline_depth, gang, reuse)| MemifConfig {
+            race_mode,
+            pipeline_depth,
+            gang_lookup: gang,
+            descriptor_reuse: reuse,
+            ..MemifConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn driver_survives_arbitrary_interleavings(
+        config in config_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let recover = config.race_mode == RaceMode::DetectRecover;
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let memif = Memif::open(&mut sys, space, config).unwrap();
+
+        let frames_baseline = sys.alloc.live_frames();
+        let regions: Vec<_> = (0..REGIONS)
+            .map(|_| sys.mmap(space, PAGES, PageSize::Small4K, NodeId(0)).unwrap())
+            .collect();
+        let frames_mapped = sys.alloc.live_frames();
+        prop_assert_eq!(frames_mapped - frames_baseline, REGIONS * PAGES as usize);
+
+        let mut submitted = 0u64;
+        let mut retrieved = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Migrate(r, to_fast) => {
+                    let node = if to_fast { NodeId(1) } else { NodeId(0) };
+                    let spec = MoveSpec::migrate(regions[r], PAGES, PageSize::Small4K, node);
+                    if memif.submit(&mut sys, &mut sim, spec).is_ok() {
+                        submitted += 1;
+                    }
+                }
+                Op::Replicate(a, b) => {
+                    if a != b {
+                        let spec = MoveSpec::replicate(
+                            regions[a], regions[b], PAGES, PageSize::Small4K,
+                        );
+                        if memif.submit(&mut sys, &mut sim, spec).is_ok() {
+                            submitted += 1;
+                        }
+                    }
+                }
+                Op::SubmitInvalid(sel) => {
+                    let spec = match sel % 3 {
+                        0 => MoveSpec::migrate(
+                            regions[0].offset(1), PAGES, PageSize::Small4K, NodeId(1),
+                        ),
+                        1 => MoveSpec::migrate(regions[0], PAGES, PageSize::Small4K, NodeId(7)),
+                        _ => MoveSpec::migrate(regions[0], 5_000, PageSize::Small4K, NodeId(1)),
+                    };
+                    if memif.submit(&mut sys, &mut sim, spec).is_ok() {
+                        submitted += 1;
+                    }
+                }
+                Op::Touch(r, write) => {
+                    let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                    match sys.space_mut(SpaceId(0)).access(regions[r], kind) {
+                        Ok(_) => {}
+                        Err(memif_mm::Fault::BlockedByMigration(_)) => {}
+                        Err(memif_mm::Fault::WriteProtected(va)) => {
+                            // Recover mode: the trap aborts the migration
+                            // and the store retries successfully.
+                            prop_assert!(recover);
+                            let handled =
+                                memif::handle_write_fault(&mut sys, &mut sim, space, va);
+                            prop_assert!(handled);
+                            prop_assert!(sys
+                                .space_mut(SpaceId(0))
+                                .access(regions[r], kind)
+                                .is_ok());
+                        }
+                        Err(other) => prop_assert!(false, "unexpected fault {other}"),
+                    }
+                }
+                Op::RunFor(us) => {
+                    let until = sim.now() + SimDuration::from_us(u64::from(us));
+                    sim.run_until(&mut sys, until);
+                }
+                Op::RetrieveAll => {
+                    while let Some(_c) = memif.retrieve_completed(&mut sys).unwrap() {
+                        retrieved += 1;
+                    }
+                }
+            }
+        }
+
+        // Quiesce and drain.
+        sim.run(&mut sys);
+        while let Some(_c) = memif.retrieve_completed(&mut sys).unwrap() {
+            retrieved += 1;
+        }
+
+        // Conservation invariants.
+        prop_assert_eq!(retrieved, submitted, "every submission completes exactly once");
+        prop_assert_eq!(
+            sys.alloc.live_frames(),
+            frames_mapped,
+            "no frame leaked or double-freed"
+        );
+        let dev = sys.device(memif.device()).unwrap();
+        prop_assert_eq!(dev.region.stats().free, dev.config.queue_capacity);
+        prop_assert!(dev.is_idle());
+        prop_assert_eq!(dev.stats.completed + dev.stats.failed, submitted);
+        prop_assert_eq!(sys.active_transfers(), 0, "no transfer stuck on a controller");
+        // Every region is still fully mapped and readable.
+        for va in &regions {
+            for i in 0..PAGES {
+                let page = va.offset(u64::from(i) * 4096);
+                prop_assert!(sys.space(space).translate(page).is_some());
+            }
+        }
+        memif.close(&mut sys).unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+//! Migration of pages shared among processes (the §6.7 limitation,
+//! implemented here through reverse mapping): every mapper's PTE is
+//! updated, remote mappers are blocked for exactly the transfer window,
+//! and frame reference counts stay balanced through completion, abort,
+//! and unmap in any order.
+
+use memif::{
+    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimTime, SpaceId, System,
+};
+use memif_mm::{AccessKind, Fault};
+
+const PAGES: u32 = 4;
+const BYTES: usize = (PAGES as usize) * 4096;
+
+struct Setup {
+    sys: System,
+    sim: Sim<System>,
+    a: SpaceId,
+    b: SpaceId,
+    memif: Memif,
+    va_a: memif::VirtAddr,
+    va_b: memif::VirtAddr,
+}
+
+fn setup(config: MemifConfig) -> Setup {
+    let mut sys = System::keystone_ii();
+    let sim = Sim::new();
+    let a = sys.new_space();
+    let b = sys.new_space();
+    let memif = Memif::open(&mut sys, a, config).unwrap();
+    let va_a = sys.mmap(a, PAGES, PageSize::Small4K, NodeId(0)).unwrap();
+    let data: Vec<u8> = (0..BYTES).map(|i| (i % 247) as u8).collect();
+    sys.write_user(a, va_a, &data).unwrap();
+    let va_b = sys.share_region(a, va_a, b).unwrap();
+    Setup {
+        sys,
+        sim,
+        a,
+        b,
+        memif,
+        va_a,
+        va_b,
+    }
+}
+
+#[test]
+fn sharing_bumps_refcounts_and_aliases_bytes() {
+    let mut s = setup(MemifConfig::default());
+    let pa_a = s.sys.space(s.a).translate(s.va_a).unwrap();
+    let pa_b = s.sys.space(s.b).translate(s.va_b).unwrap();
+    assert_eq!(pa_a, pa_b, "same backing frame");
+    assert_eq!(s.sys.alloc.frame_info(pa_a).unwrap().refcount, 2);
+
+    // A write through one space is visible through the other.
+    s.sys.write_user(s.a, s.va_a.offset(10), &[0x42]).unwrap();
+    let mut byte = [0u8];
+    s.sys.read_user(s.b, s.va_b.offset(10), &mut byte).unwrap();
+    assert_eq!(byte[0], 0x42);
+
+    // rmap sees both mappers.
+    let mappers = s.sys.rmap_mappers(pa_a, PageSize::Small4K);
+    assert_eq!(mappers.len(), 2);
+}
+
+#[test]
+fn shared_migration_updates_every_mapper() {
+    let mut s = setup(MemifConfig::default());
+    let mut before = vec![0u8; BYTES];
+    s.sys.read_user(s.a, s.va_a, &mut before).unwrap();
+
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    s.sim.run(&mut s.sys);
+    let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
+    assert!(c.status.is_ok(), "{:?}", c.status);
+
+    // Both spaces now map the *same new* frame on the fast node.
+    let pa_a = s.sys.space(s.a).translate(s.va_a).unwrap();
+    let pa_b = s.sys.space(s.b).translate(s.va_b).unwrap();
+    assert_eq!(pa_a, pa_b);
+    assert_eq!(s.sys.node_of(pa_a), Some(NodeId(1)));
+    assert_eq!(s.sys.alloc.frame_info(pa_a).unwrap().refcount, 2);
+
+    // Contents intact through both views.
+    for (space, va) in [(s.a, s.va_a), (s.b, s.va_b)] {
+        let mut got = vec![0u8; BYTES];
+        s.sys.read_user(space, va, &mut got).unwrap();
+        assert_eq!(got, before);
+    }
+}
+
+#[test]
+fn remote_mapper_is_blocked_during_flight() {
+    let mut s = setup(MemifConfig::default());
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    // Mid-flight, the remote space hits a migration entry; the owner's
+    // semi-final PTE still serves reads (race-detected).
+    let (b, va_b) = (s.b, s.va_b);
+    s.sim
+        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+            let err = sys.space_mut(b).access(va_b, AccessKind::Read).unwrap_err();
+            assert!(matches!(err, Fault::BlockedByMigration(_)));
+        });
+    s.sim.run(&mut s.sys);
+    let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
+    assert!(
+        c.status.is_ok(),
+        "remote blocked access is not a race: {:?}",
+        c.status
+    );
+    // After completion the remote mapper works again.
+    assert!(s
+        .sys
+        .space_mut(s.b)
+        .access(s.va_b, AccessKind::Read)
+        .is_ok());
+}
+
+#[test]
+fn owner_access_still_races_for_shared_pages() {
+    let mut s = setup(MemifConfig::default());
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    let (a, va_a) = (s.a, s.va_a);
+    s.sim
+        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+            sys.space_mut(a).access(va_a, AccessKind::Read).unwrap();
+        });
+    s.sim.run(&mut s.sys);
+    let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
+    assert!(c.status.is_race());
+    // Even on a raced page, the remote mapper was rewritten and works.
+    assert!(s
+        .sys
+        .space_mut(s.b)
+        .access(s.va_b, AccessKind::Read)
+        .is_ok());
+}
+
+#[test]
+fn recover_abort_restores_all_mappers() {
+    let config = MemifConfig {
+        race_mode: RaceMode::DetectRecover,
+        ..MemifConfig::default()
+    };
+    let mut s = setup(config);
+    let pa_before = s.sys.space(s.a).translate(s.va_a).unwrap();
+    let sram_free = s.sys.alloc.free_bytes(NodeId(1));
+
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    let a = s.a;
+    let va = s.va_a;
+    s.sim
+        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, sim| {
+            sys.cpu_write(sim, a, va, &[9])
+                .expect("write preserved by recover");
+        });
+    s.sim.run(&mut s.sys);
+    let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
+    assert!(c.status.is_aborted());
+
+    // Both mappers back on the original frame; SRAM fully returned.
+    assert_eq!(s.sys.space(s.a).translate(s.va_a), Some(pa_before));
+    assert_eq!(s.sys.space(s.b).translate(s.va_b), Some(pa_before));
+    assert_eq!(s.sys.alloc.frame_info(pa_before).unwrap().refcount, 2);
+    assert_eq!(s.sys.alloc.free_bytes(NodeId(1)), sram_free);
+    assert!(s
+        .sys
+        .space_mut(s.b)
+        .access(s.va_b, AccessKind::Read)
+        .is_ok());
+}
+
+#[test]
+fn unmap_order_is_immaterial_after_shared_migration() {
+    let mut s = setup(MemifConfig::default());
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    s.sim.run(&mut s.sys);
+    assert!(s
+        .memif
+        .retrieve_completed(&mut s.sys)
+        .unwrap()
+        .unwrap()
+        .status
+        .is_ok());
+
+    let new_frame = s.sys.space(s.a).translate(s.va_a).unwrap();
+    // Unmap the *owner* first: the frame must survive via b's reference.
+    {
+        let (spaces, alloc, _) = s.sys.split_for_baseline();
+        spaces[s.a.0].munmap(alloc, s.va_a).unwrap();
+    }
+    assert!(
+        s.sys.alloc.frame_info(new_frame).is_some(),
+        "b still holds it"
+    );
+    let mut byte = [0u8];
+    s.sys.read_user(s.b, s.va_b, &mut byte).unwrap();
+    {
+        let (spaces, alloc, _) = s.sys.split_for_baseline();
+        spaces[s.b.0].munmap(alloc, s.va_b).unwrap();
+    }
+    assert!(
+        s.sys.alloc.frame_info(new_frame).is_none(),
+        "last reference frees"
+    );
+    assert_eq!(s.sys.alloc.free_bytes(NodeId(1)), 6 << 20);
+}
+
+#[test]
+fn three_way_sharing_migrates_consistently() {
+    let mut s = setup(MemifConfig::default());
+    let c_space = s.sys.new_space();
+    let va_c = s.sys.share_region(s.a, s.va_a, c_space).unwrap();
+    let pa = s.sys.space(s.a).translate(s.va_a).unwrap();
+    assert_eq!(s.sys.alloc.frame_info(pa).unwrap().refcount, 3);
+
+    s.memif
+        .submit(
+            &mut s.sys,
+            &mut s.sim,
+            MoveSpec::migrate(s.va_a, PAGES, PageSize::Small4K, NodeId(1)),
+        )
+        .unwrap();
+    s.sim.run(&mut s.sys);
+    assert!(s
+        .memif
+        .retrieve_completed(&mut s.sys)
+        .unwrap()
+        .unwrap()
+        .status
+        .is_ok());
+
+    let new = s.sys.space(s.a).translate(s.va_a).unwrap();
+    assert_eq!(s.sys.space(s.b).translate(s.va_b), Some(new));
+    assert_eq!(s.sys.space(c_space).translate(va_c), Some(new));
+    assert_eq!(s.sys.alloc.frame_info(new).unwrap().refcount, 3);
+    assert!(
+        s.sys.alloc.frame_info(pa).is_none(),
+        "old frame fully freed"
+    );
+}

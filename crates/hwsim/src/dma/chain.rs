@@ -1,0 +1,399 @@
+//! Descriptor-chain bookkeeping and reuse (§5.3).
+//!
+//! The enhanced DMA driver of the paper "maintains the knowledge of
+//! existing descriptor chains": knowing that "starting from descriptor
+//! 42, there exists a chain of 32 descriptors, each configured for a 4 KB
+//! transfer", it reuses part of or the whole chain, rewriting only the
+//! source and destination fields of each reused descriptor. This module
+//! implements that knowledge: a pool of descriptor indices, records of
+//! configured chains keyed by their per-descriptor size, LRU eviction
+//! when the pool runs dry, and busy-marking so a chain serving an
+//! in-flight transfer is never reconfigured under the engine.
+
+use std::collections::HashMap;
+
+/// Identifier of a recorded chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainId(u64);
+
+/// How a planned transfer maps onto descriptors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPlan {
+    /// The chain the transfer will run on.
+    pub chain: ChainId,
+    /// Descriptors reused from a previous configuration (src/dst rewrite
+    /// only).
+    pub reused: Vec<u16>,
+    /// Descriptors needing a full 12-field configuration.
+    pub fresh: Vec<u16>,
+}
+
+impl ChainPlan {
+    /// Total descriptors in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reused.len() + self.fresh.len()
+    }
+
+    /// True if the plan holds no descriptors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All descriptor indices in chain order (reused prefix, then fresh).
+    pub fn descriptors(&self) -> impl Iterator<Item = u16> + '_ {
+        self.reused.iter().chain(self.fresh.iter()).copied()
+    }
+}
+
+#[derive(Debug)]
+struct ChainRecord {
+    descs: Vec<u16>,
+    bytes_per_desc: u64,
+    last_use: u64,
+    busy: bool,
+}
+
+/// Errors from chain planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// More descriptors were requested than the PaRAM can ever hold.
+    TooLarge {
+        /// Descriptors the caller asked for.
+        requested: usize,
+        /// Total descriptors in the PaRAM pool.
+        pool: usize,
+    },
+    /// Every descriptor is currently tied up in busy (in-flight) chains.
+    AllBusy,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::TooLarge { requested, pool } => {
+                write!(f, "{requested} descriptors requested, pool holds {pool}")
+            }
+            ChainError::AllBusy => f.write_str("all descriptors busy with in-flight transfers"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// The descriptor pool and chain-reuse knowledge base.
+#[derive(Debug)]
+pub struct ChainManager {
+    free: Vec<u16>,
+    pool_size: usize,
+    chains: HashMap<u64, ChainRecord>,
+    next_chain: u64,
+    clock: u64,
+    reuse_enabled: bool,
+}
+
+impl ChainManager {
+    /// A manager over `pool_size` descriptor indices (`0..pool_size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` is 0 or above `u16::MAX`.
+    #[must_use]
+    pub fn new(pool_size: usize) -> Self {
+        assert!(
+            pool_size > 0 && pool_size < u16::MAX as usize,
+            "bad pool size"
+        );
+        ChainManager {
+            free: (0..pool_size as u16).rev().collect(),
+            pool_size,
+            chains: HashMap::new(),
+            next_chain: 0,
+            clock: 0,
+            reuse_enabled: true,
+        }
+    }
+
+    /// Enables or disables chain reuse (ablation A1). With reuse off,
+    /// every plan gets freshly configured descriptors and previous chains
+    /// are recycled rather than remembered.
+    pub fn set_reuse_enabled(&mut self, enabled: bool) {
+        self.reuse_enabled = enabled;
+    }
+
+    /// Whether reuse is enabled.
+    #[must_use]
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse_enabled
+    }
+
+    /// Free descriptors currently in the pool.
+    #[must_use]
+    pub fn free_descriptors(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Plans a transfer of `n` descriptors, each moving `bytes_per_desc`
+    /// bytes. The returned plan's chain is marked busy until
+    /// [`ChainManager::release`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainError::TooLarge`] if `n` exceeds the pool size.
+    /// * [`ChainError::AllBusy`] if in-flight chains hold every
+    ///   descriptor needed.
+    pub fn plan(&mut self, n: usize, bytes_per_desc: u64) -> Result<ChainPlan, ChainError> {
+        if n > self.pool_size {
+            return Err(ChainError::TooLarge {
+                requested: n,
+                pool: self.pool_size,
+            });
+        }
+        self.clock += 1;
+
+        if !self.reuse_enabled {
+            let fresh = self.take_free(n)?;
+            let id = self.record(fresh.clone(), bytes_per_desc);
+            return Ok(ChainPlan {
+                chain: id,
+                reused: Vec::new(),
+                fresh,
+            });
+        }
+
+        // Best candidate: an idle chain with the same per-descriptor size,
+        // preferring the one whose length is closest to (but ideally at
+        // least) n so long chains are preserved for large requests.
+        let candidate = self
+            .chains
+            .iter()
+            .filter(|(_, c)| !c.busy && c.bytes_per_desc == bytes_per_desc)
+            .max_by_key(|(_, c)| {
+                let len = c.descs.len();
+                if len >= n {
+                    // Smallest sufficient chain wins among sufficient ones.
+                    (1, usize::MAX - len)
+                } else {
+                    (0, len)
+                }
+            })
+            .map(|(id, _)| *id);
+
+        match candidate {
+            Some(id) => {
+                // Mark the candidate busy *before* drawing fresh
+                // descriptors so the eviction path cannot steal it, and
+                // return any tail beyond the reused prefix to the pool
+                // (a longer chain shrinks rather than leaking).
+                let (reused, need) = {
+                    let c = self.chains.get_mut(&id).expect("candidate exists");
+                    c.busy = true;
+                    c.last_use = self.clock;
+                    let take = c.descs.len().min(n);
+                    let tail = c.descs.split_off(take);
+                    let reused = c.descs.clone();
+                    (reused, (n - take, tail))
+                };
+                let (need, tail) = (need.0, need.1);
+                self.free.extend(tail);
+                match self.take_free(need) {
+                    Ok(fresh) => {
+                        let c = self.chains.get_mut(&id).expect("candidate exists");
+                        c.descs.extend_from_slice(&fresh);
+                        Ok(ChainPlan {
+                            chain: ChainId(id),
+                            reused,
+                            fresh,
+                        })
+                    }
+                    Err(e) => {
+                        // Roll back the busy mark; the (shrunk) chain
+                        // stays usable for smaller requests.
+                        let c = self.chains.get_mut(&id).expect("candidate exists");
+                        c.busy = false;
+                        Err(e)
+                    }
+                }
+            }
+            None => {
+                let fresh = self.take_free(n)?;
+                let id = self.record(fresh.clone(), bytes_per_desc);
+                Ok(ChainPlan {
+                    chain: id,
+                    reused: Vec::new(),
+                    fresh,
+                })
+            }
+        }
+    }
+
+    /// Marks a chain idle again after its transfer completes or aborts.
+    /// With reuse disabled the chain's descriptors return to the pool.
+    pub fn release(&mut self, chain: ChainId) {
+        if self.reuse_enabled {
+            if let Some(c) = self.chains.get_mut(&chain.0) {
+                c.busy = false;
+            }
+        } else if let Some(c) = self.chains.remove(&chain.0) {
+            self.free.extend(c.descs);
+        }
+    }
+
+    /// Number of chains currently remembered.
+    #[must_use]
+    pub fn known_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    fn record(&mut self, descs: Vec<u16>, bytes_per_desc: u64) -> ChainId {
+        let id = self.next_chain;
+        self.next_chain += 1;
+        self.chains.insert(
+            id,
+            ChainRecord {
+                descs,
+                bytes_per_desc,
+                last_use: self.clock,
+                busy: true,
+            },
+        );
+        ChainId(id)
+    }
+
+    fn take_free(&mut self, n: usize) -> Result<Vec<u16>, ChainError> {
+        while self.free.len() < n {
+            // Evict the least-recently-used idle chain.
+            let victim = self
+                .chains
+                .iter()
+                .filter(|(_, c)| !c.busy)
+                .min_by_key(|(id, c)| (c.last_use, **id))
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    let c = self.chains.remove(&id).expect("victim exists");
+                    self.free.extend(c.descs);
+                }
+                None => return Err(ChainError::AllBusy),
+            }
+        }
+        let at = self.free.len() - n;
+        Ok(self.free.split_off(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_plan_is_all_fresh() {
+        let mut m = ChainManager::new(16);
+        let p = m.plan(4, 4096).unwrap();
+        assert_eq!(p.reused.len(), 0);
+        assert_eq!(p.fresh.len(), 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(m.free_descriptors(), 12);
+    }
+
+    #[test]
+    fn released_chain_is_reused_in_full() {
+        let mut m = ChainManager::new(16);
+        let p1 = m.plan(4, 4096).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan(4, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 4, "whole chain reused");
+        assert_eq!(p2.fresh.len(), 0);
+        assert_eq!(p2.reused, p1.fresh, "same descriptors, same order");
+    }
+
+    #[test]
+    fn partial_reuse_extends_chain() {
+        let mut m = ChainManager::new(16);
+        let p1 = m.plan(3, 4096).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan(5, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 3);
+        assert_eq!(p2.fresh.len(), 2);
+        m.release(p2.chain);
+        // The extended chain now serves 5 in full.
+        let p3 = m.plan(5, 4096).unwrap();
+        assert_eq!(p3.reused.len(), 5);
+    }
+
+    #[test]
+    fn prefix_reuse_of_longer_chain() {
+        let mut m = ChainManager::new(16);
+        let p1 = m.plan(8, 4096).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan(2, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 2, "reuses part of the whole chain (§5.3)");
+        assert_eq!(p2.fresh.len(), 0);
+    }
+
+    #[test]
+    fn different_page_size_does_not_reuse() {
+        let mut m = ChainManager::new(32);
+        let p1 = m.plan(4, 4096).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan(4, 65_536).unwrap();
+        assert_eq!(p2.reused.len(), 0, "4 KiB chain useless for 64 KiB pages");
+        assert_eq!(p2.fresh.len(), 4);
+    }
+
+    #[test]
+    fn busy_chain_is_not_reused() {
+        let mut m = ChainManager::new(16);
+        let p1 = m.plan(4, 4096).unwrap();
+        // p1 not released: in flight.
+        let p2 = m.plan(4, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 0);
+        assert_ne!(p1.fresh, p2.fresh);
+    }
+
+    #[test]
+    fn lru_eviction_when_pool_exhausted() {
+        let mut m = ChainManager::new(8);
+        let a = m.plan(4, 4096).unwrap();
+        m.release(a.chain);
+        let b = m.plan(4, 8192).unwrap();
+        m.release(b.chain);
+        // Pool empty; a is LRU and idle: must be evicted for a 64 KiB plan.
+        let c = m.plan(4, 65_536).unwrap();
+        assert_eq!(c.fresh.len(), 4);
+        assert_eq!(m.known_chains(), 2, "chain a evicted");
+    }
+
+    #[test]
+    fn all_busy_is_an_error() {
+        let mut m = ChainManager::new(4);
+        let _a = m.plan(4, 4096).unwrap();
+        assert_eq!(m.plan(1, 4096), Err(ChainError::AllBusy));
+    }
+
+    #[test]
+    fn too_large_is_an_error() {
+        let mut m = ChainManager::new(4);
+        assert_eq!(
+            m.plan(5, 4096),
+            Err(ChainError::TooLarge {
+                requested: 5,
+                pool: 4
+            })
+        );
+    }
+
+    #[test]
+    fn reuse_disabled_always_fresh() {
+        let mut m = ChainManager::new(16);
+        m.set_reuse_enabled(false);
+        assert!(!m.reuse_enabled());
+        let p1 = m.plan(4, 4096).unwrap();
+        m.release(p1.chain);
+        assert_eq!(m.known_chains(), 0, "no knowledge kept");
+        let p2 = m.plan(4, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 0);
+        assert_eq!(p2.fresh.len(), 4);
+    }
+}

@@ -1,0 +1,9 @@
+//! The EDMA3-model DMA engine: descriptors, chain reuse, execution.
+
+mod chain;
+mod engine;
+mod param;
+
+pub use chain::{ChainError, ChainId, ChainManager, ChainPlan};
+pub use engine::{ConfiguredTransfer, DmaEngine, DmaStats, SgSegment, TransferId};
+pub use param::{ParamSet, NULL_LINK, NUM_PARAM_SETS, PARAM_FIELDS};

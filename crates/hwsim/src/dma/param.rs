@@ -1,0 +1,150 @@
+//! EDMA3-style transfer descriptors (PaRAM sets).
+//!
+//! The TI EDMA3 exposes an array of *parameter RAM* entries; each of the
+//! 12 fields commands one aspect of a three-dimensional transfer, and a
+//! link field chains entries into scatter-gather lists (§5.3, [58]). The
+//! fields live in unbuffered, uncached I/O memory, which is why writing
+//! them dominates configuration cost — the quantity the paper's
+//! descriptor-reuse optimization attacks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::phys::PhysAddr;
+
+/// Number of PaRAM entries on KeyStone II (Table 2: "512 entries for
+/// transfer descriptors").
+pub const NUM_PARAM_SETS: usize = 512;
+
+/// Fields per descriptor (§5.3: "Consisting of 12 parameters...").
+pub const PARAM_FIELDS: u32 = 12;
+
+/// Link value terminating a descriptor chain.
+pub const NULL_LINK: u16 = 0xFFFF;
+
+/// One transfer descriptor. Field names follow the EDMA3 manual; the
+/// engine copies an `acnt × bcnt × ccnt` three-dimensional array with the
+/// given strides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSet {
+    /// Option word (transfer mode, completion code).
+    pub opt: u32,
+    /// Source address.
+    pub src: PhysAddr,
+    /// Destination address.
+    pub dst: PhysAddr,
+    /// Bytes per array (first dimension).
+    pub acnt: u32,
+    /// Arrays per frame (second dimension).
+    pub bcnt: u32,
+    /// Frames per block (third dimension).
+    pub ccnt: u32,
+    /// Source stride between arrays.
+    pub src_bidx: i32,
+    /// Destination stride between arrays.
+    pub dst_bidx: i32,
+    /// Source stride between frames.
+    pub src_cidx: i32,
+    /// Destination stride between frames.
+    pub dst_cidx: i32,
+    /// BCNT reload value for linked transfers.
+    pub bcnt_reload: u32,
+    /// Next descriptor in the chain, or [`NULL_LINK`].
+    pub link: u16,
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        ParamSet {
+            opt: 0,
+            src: PhysAddr::new(0),
+            dst: PhysAddr::new(0),
+            acnt: 0,
+            bcnt: 0,
+            ccnt: 0,
+            src_bidx: 0,
+            dst_bidx: 0,
+            src_cidx: 0,
+            dst_cidx: 0,
+            bcnt_reload: 0,
+            link: NULL_LINK,
+        }
+    }
+}
+
+impl ParamSet {
+    /// A descriptor copying one physically contiguous region — the shape
+    /// memif uses: "the driver dedicates each descriptor to one page, the
+    /// largest physically contiguous memory area that applications are
+    /// guaranteed to get" (§5.3).
+    ///
+    /// Large byte counts are expressed through the B dimension since
+    /// ACNT is a 16-bit quantity on real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or not expressible as `acnt × bcnt`
+    /// with 64-byte arrays (i.e. not a multiple of 64 when above 65 535).
+    #[must_use]
+    pub fn contiguous(src: PhysAddr, dst: PhysAddr, bytes: u64) -> Self {
+        assert!(bytes > 0, "empty transfer");
+        let (acnt, bcnt) = if bytes <= 0xFFFF {
+            (bytes as u32, 1)
+        } else {
+            assert!(
+                bytes.is_multiple_of(64),
+                "large transfers must be 64-byte aligned"
+            );
+            (64, (bytes / 64) as u32)
+        };
+        ParamSet {
+            src,
+            dst,
+            acnt,
+            bcnt,
+            ccnt: 1,
+            src_bidx: acnt as i32,
+            dst_bidx: acnt as i32,
+            ..ParamSet::default()
+        }
+    }
+
+    /// Total bytes this descriptor moves.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.acnt) * u64::from(self.bcnt) * u64::from(self.ccnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_small() {
+        let p = ParamSet::contiguous(PhysAddr::new(0x1000), PhysAddr::new(0x2000), 4096);
+        assert_eq!(p.total_bytes(), 4096);
+        assert_eq!(p.ccnt, 1);
+        assert_eq!(p.link, NULL_LINK);
+    }
+
+    #[test]
+    fn contiguous_large_uses_b_dimension() {
+        let p = ParamSet::contiguous(PhysAddr::new(0), PhysAddr::new(0), 2 << 20);
+        assert_eq!(p.total_bytes(), 2 << 20);
+        assert_eq!(p.acnt, 64);
+        assert_eq!(p.bcnt, (2 << 20) / 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transfer")]
+    fn zero_bytes_rejected() {
+        let _ = ParamSet::contiguous(PhysAddr::new(0), PhysAddr::new(0), 0);
+    }
+
+    #[test]
+    fn default_is_inert() {
+        let p = ParamSet::default();
+        assert_eq!(p.total_bytes(), 0);
+        assert_eq!(p.link, NULL_LINK);
+    }
+}

@@ -1,0 +1,478 @@
+//! Bandwidth-shared data flows.
+//!
+//! Memory traffic on the simulated SoC — DMA transfers, CPU streaming
+//! loads/stores — contends for the finite bandwidth of each memory node
+//! and of the DMA engine. This module models each ongoing transfer as a
+//! *flow* over a set of *resources*; concurrently active flows share each
+//! resource equally, and a flow progresses at the minimum of its own
+//! demand and its fair share on every resource it touches (an
+//! equal-share approximation of max-min fairness, adequate at the small
+//! flow counts the experiments generate).
+//!
+//! [`FlowNet`] is the pure fluid model; [`FlowSystem`] couples it to the
+//! DES, rescheduling the single completion timer whenever the contention
+//! picture changes.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::sim::{EventFn, EventId, Sim};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a bandwidth resource (a memory node's bus, the DMA engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(usize);
+
+/// Handle to an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Bytes below which a flow counts as finished (absorbs the ±1 ns
+/// rounding of completion times).
+const EPSILON_BYTES: f64 = 0.5;
+
+#[derive(Debug)]
+struct Resource {
+    name: String,
+    capacity_gbps: f64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    resources: Vec<ResourceId>,
+    remaining_bytes: f64,
+    /// Current progress rate in bytes/ns (== GB/s numerically).
+    rate: f64,
+    demand_gbps: f64,
+}
+
+/// The pure fluid-flow bandwidth model (no event coupling).
+///
+/// # Examples
+///
+/// ```
+/// use memif_hwsim::{FlowNet, SimTime};
+///
+/// let mut net = FlowNet::new();
+/// let bus = net.add_resource("ddr", 2.0); // 2 GB/s
+/// net.start(SimTime::ZERO, &[bus], 2_000, 100.0);
+/// net.start(SimTime::ZERO, &[bus], 2_000, 100.0);
+/// // Two equal flows share the bus: each finishes after 2000 ns.
+/// assert_eq!(net.next_completion(SimTime::ZERO), Some(SimTime::from_ns(2_000)));
+/// ```
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    resources: Vec<Resource>,
+    flows: BTreeMap<u64, Flow>,
+    next_flow: u64,
+    last_advance: SimTime,
+    /// Total bytes ever delivered, per resource (utilization accounting).
+    delivered: Vec<f64>,
+}
+
+impl FlowNet {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with `capacity_gbps` gigabytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity_gbps: f64) -> ResourceId {
+        assert!(capacity_gbps > 0.0, "resource capacity must be positive");
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity_gbps,
+        });
+        self.delivered.push(0.0);
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Resource name (diagnostics).
+    #[must_use]
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.0].name
+    }
+
+    /// Starts a flow of `bytes` over `resources`, self-capped at
+    /// `demand_gbps`. Progress of all flows is brought up to `now` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty resource list, a non-positive demand, or a
+    /// resource id from another network.
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        resources: &[ResourceId],
+        bytes: u64,
+        demand_gbps: f64,
+    ) -> FlowId {
+        assert!(!resources.is_empty(), "flow needs at least one resource");
+        assert!(demand_gbps > 0.0, "flow demand must be positive");
+        for r in resources {
+            assert!(r.0 < self.resources.len(), "unknown resource");
+        }
+        self.advance(now);
+        let id = self.next_flow;
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                resources: resources.to_vec(),
+                remaining_bytes: bytes as f64,
+                rate: 0.0,
+                demand_gbps,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// Removes a flow before completion (e.g. an aborted DMA transfer).
+    /// Returns the bytes that had not yet been moved, or `None` if the
+    /// flow no longer exists.
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id.0)?;
+        self.recompute_rates();
+        Some(flow.remaining_bytes.max(0.0).round() as u64)
+    }
+
+    /// Number of active flows.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Advances all flows to `now`, removes the finished ones, and
+    /// returns their ids in creation order.
+    pub fn take_finished(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        let finished: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bytes <= EPSILON_BYTES)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &finished {
+            self.flows.remove(id);
+        }
+        if !finished.is_empty() {
+            self.recompute_rates();
+        }
+        finished.into_iter().map(FlowId).collect()
+    }
+
+    /// The earliest instant at which some flow completes, if any flow is
+    /// active.
+    #[must_use]
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        self.flows
+            .values()
+            .map(|f| {
+                if f.remaining_bytes <= EPSILON_BYTES {
+                    0
+                } else {
+                    // rate > 0: every flow has positive demand and every
+                    // resource positive capacity.
+                    (f.remaining_bytes / f.rate).ceil() as u64
+                }
+            })
+            .min()
+            .map(|eta| now + SimDuration::from_ns(eta))
+    }
+
+    /// Total bytes delivered through resource `r` so far.
+    #[must_use]
+    pub fn delivered_bytes(&self, r: ResourceId) -> f64 {
+        self.delivered[r.0]
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_ns() as f64;
+        self.last_advance = self.last_advance.max(now);
+        if dt <= 0.0 {
+            return;
+        }
+        for flow in self.flows.values_mut() {
+            let moved = (flow.rate * dt).min(flow.remaining_bytes);
+            flow.remaining_bytes -= moved;
+            for r in &flow.resources {
+                self.delivered[r.0] += moved;
+            }
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        let mut active_per_resource = vec![0usize; self.resources.len()];
+        for flow in self.flows.values() {
+            for r in &flow.resources {
+                active_per_resource[r.0] += 1;
+            }
+        }
+        for flow in self.flows.values_mut() {
+            let share = flow
+                .resources
+                .iter()
+                .map(|r| self.resources[r.0].capacity_gbps / active_per_resource[r.0] as f64)
+                .fold(f64::INFINITY, f64::min);
+            flow.rate = share.min(flow.demand_gbps);
+        }
+    }
+}
+
+/// [`FlowNet`] wired into the DES: completion callbacks fire as events,
+/// and the single pending timer is rescheduled whenever flows start,
+/// finish, or are cancelled.
+///
+/// `W` is the experiment's world type; the system stores a plain function
+/// pointer that locates itself within `W`, so its timer events can find
+/// it again without capturing references.
+pub struct FlowSystem<W> {
+    net: FlowNet,
+    callbacks: HashMap<u64, EventFn<W>>,
+    timer: Option<EventId>,
+    accessor: fn(&mut W) -> &mut FlowSystem<W>,
+}
+
+impl<W> std::fmt::Debug for FlowSystem<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowSystem")
+            .field("active", &self.net.active())
+            .field("armed", &self.timer.is_some())
+            .finish()
+    }
+}
+
+impl<W: 'static> FlowSystem<W> {
+    /// Creates a flow system. `accessor` must return this very instance
+    /// when applied to the world the simulation runs against.
+    pub fn new(accessor: fn(&mut W) -> &mut FlowSystem<W>) -> Self {
+        FlowSystem {
+            net: FlowNet::new(),
+            callbacks: HashMap::new(),
+            timer: None,
+            accessor,
+        }
+    }
+
+    /// Registers a bandwidth resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity_gbps: f64) -> ResourceId {
+        self.net.add_resource(name, capacity_gbps)
+    }
+
+    /// Read access to the underlying fluid model.
+    #[must_use]
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    /// Starts a flow whose completion runs `on_complete` as an event.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`FlowNet::start`].
+    pub fn start_flow(
+        &mut self,
+        sim: &mut Sim<W>,
+        resources: &[ResourceId],
+        bytes: u64,
+        demand_gbps: f64,
+        on_complete: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> FlowId {
+        let id = self.net.start(sim.now(), resources, bytes, demand_gbps);
+        self.callbacks.insert(id.0, Box::new(on_complete));
+        self.rearm(sim);
+        id
+    }
+
+    /// Cancels a flow; its completion callback is dropped unrun. Returns
+    /// the unmoved bytes, or `None` if the flow had already completed.
+    pub fn cancel_flow(&mut self, sim: &mut Sim<W>, id: FlowId) -> Option<u64> {
+        let left = self.net.cancel(sim.now(), id)?;
+        self.callbacks.remove(&id.0);
+        self.rearm(sim);
+        Some(left)
+    }
+
+    fn rearm(&mut self, sim: &mut Sim<W>) {
+        if let Some(t) = self.timer.take() {
+            sim.cancel(t);
+        }
+        if let Some(at) = self.net.next_completion(sim.now()) {
+            let accessor = self.accessor;
+            self.timer = Some(sim.schedule_at(at, move |w, s| Self::on_timer(w, s, accessor)));
+        }
+    }
+
+    fn on_timer(world: &mut W, sim: &mut Sim<W>, accessor: fn(&mut W) -> &mut FlowSystem<W>) {
+        let this = accessor(world);
+        this.timer = None;
+        let finished = this.net.take_finished(sim.now());
+        let callbacks: Vec<EventFn<W>> = finished
+            .iter()
+            .filter_map(|id| this.callbacks.remove(&id.0))
+            .collect();
+        this.rearm(sim);
+        // Borrow of `this` ends here; callbacks receive the full world.
+        for cb in callbacks {
+            cb(world, sim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_flow_runs_at_demand() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 2.0);
+        let t0 = SimTime::ZERO;
+        net.start(t0, &[ddr], 2_000, 100.0); // capped by resource
+        let eta = net.next_completion(t0).unwrap();
+        assert_eq!(eta.as_ns(), 1_000);
+        let done = net.take_finished(eta);
+        assert_eq!(done.len(), 1);
+        assert!((net.delivered_bytes(ddr) - 2_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn demand_caps_below_capacity() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 6.2);
+        net.start(SimTime::ZERO, &[ddr], 1_000, 1.0); // 1 GB/s demand
+        let eta = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(eta.as_ns(), 1_000);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 4.0);
+        net.start(SimTime::ZERO, &[ddr], 4_000, 100.0);
+        net.start(SimTime::ZERO, &[ddr], 4_000, 100.0);
+        // Each runs at 2 GB/s => 2000 ns.
+        let eta = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(eta.as_ns(), 2_000);
+        assert_eq!(net.take_finished(eta).len(), 2);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 4.0);
+        net.start(SimTime::ZERO, &[ddr], 2_000, 100.0); // finishes first
+        net.start(SimTime::ZERO, &[ddr], 4_000, 100.0);
+        let t1 = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t1.as_ns(), 1_000); // 2000 bytes at 2 GB/s
+        assert_eq!(net.take_finished(t1).len(), 1);
+        // Survivor has 2000 bytes left, now at full 4 GB/s: +500 ns.
+        let t2 = net.next_completion(t1).unwrap();
+        assert_eq!(t2.as_ns(), 1_500);
+    }
+
+    #[test]
+    fn multi_resource_flow_is_bottlenecked() {
+        let mut net = FlowNet::new();
+        let slow = net.add_resource("ddr", 6.0);
+        let fast = net.add_resource("sram", 24.0);
+        let engine = net.add_resource("edma", 5.0);
+        net.start(SimTime::ZERO, &[slow, fast, engine], 5_000, 100.0);
+        let eta = net.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(eta.as_ns(), 1_000, "bottlenecked by the 5 GB/s engine");
+    }
+
+    #[test]
+    fn cancel_returns_unmoved_bytes() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 1.0);
+        let id = net.start(SimTime::ZERO, &[ddr], 1_000, 100.0);
+        let left = net.cancel(SimTime::from_ns(400), id).unwrap();
+        assert_eq!(left, 600);
+        assert!(net.next_completion(SimTime::from_ns(400)).is_none());
+        assert_eq!(net.cancel(SimTime::from_ns(400), id), None);
+    }
+
+    // ---- FlowSystem / DES coupling ----
+
+    struct World {
+        flows: FlowSystem<World>,
+        completions: Vec<(u64, u64)>, // (flow tag, completion ns)
+    }
+
+    fn flows_of(w: &mut World) -> &mut FlowSystem<World> {
+        &mut w.flows
+    }
+
+    #[test]
+    fn system_fires_completions_through_des() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World {
+            flows: FlowSystem::new(flows_of),
+            completions: Vec::new(),
+        };
+        let ddr = w.flows.add_resource("ddr", 2.0);
+        w.flows.start_flow(&mut sim, &[ddr], 2_000, 100.0, |w, s| {
+            w.completions.push((1, s.now().as_ns()));
+        });
+        w.flows.start_flow(&mut sim, &[ddr], 4_000, 100.0, |w, s| {
+            w.completions.push((2, s.now().as_ns()));
+        });
+        sim.run(&mut w);
+        // Flow 1: shares 1 GB/s until t=2000 (2000 bytes done).
+        // Flow 2: 2000 bytes left at t=2000, then 2 GB/s => t=3000.
+        assert_eq!(w.completions, vec![(1, 2_000), (2, 3_000)]);
+    }
+
+    #[test]
+    fn system_cancel_drops_callback() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World {
+            flows: FlowSystem::new(flows_of),
+            completions: Vec::new(),
+        };
+        let ddr = w.flows.add_resource("ddr", 1.0);
+        let id = w.flows.start_flow(&mut sim, &[ddr], 1_000, 100.0, |w, s| {
+            w.completions.push((9, s.now().as_ns()));
+        });
+        sim.schedule_at(
+            SimTime::from_ns(100),
+            move |w: &mut World, s: &mut Sim<World>| {
+                let left = w.flows.cancel_flow(s, id);
+                assert_eq!(left, Some(900));
+            },
+        );
+        sim.run(&mut w);
+        assert!(w.completions.is_empty());
+    }
+
+    #[test]
+    fn completion_callback_can_start_flows() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World {
+            flows: FlowSystem::new(flows_of),
+            completions: Vec::new(),
+        };
+        let ddr = w.flows.add_resource("ddr", 1.0);
+        w.flows
+            .start_flow(&mut sim, &[ddr], 500, 100.0, move |w, s| {
+                w.completions.push((1, s.now().as_ns()));
+                w.flows.start_flow(s, &[ddr], 500, 100.0, |w, s| {
+                    w.completions.push((2, s.now().as_ns()));
+                });
+            });
+        sim.run(&mut w);
+        assert_eq!(w.completions, vec![(1, 500), (2, 1_000)]);
+    }
+}

@@ -1,0 +1,294 @@
+//! CPU-usage and phase-cost accounting.
+//!
+//! Figure 6 of the paper reports, per move request, both a *time
+//! breakdown* across driver operations and the *CPU usage* each design
+//! incurs. [`UsageMeter`] accumulates busy nanoseconds per execution
+//! context, and [`PhaseBreakdown`] accumulates cost per driver phase
+//! (Table 1 rows), letting the harness print the same columns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Execution contexts that can consume CPU (paper §5.4's three paths plus
+/// the application itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Context {
+    /// Application code on its own behalf (compute, submit protocol).
+    App,
+    /// Kernel code run in the caller's process context (ioctl/mbind).
+    Syscall,
+    /// Interrupt handlers.
+    Interrupt,
+    /// The memif kernel worker thread.
+    KernelThread,
+    /// The DMA engine (not a CPU; tracked for utilization plots).
+    DmaEngine,
+}
+
+impl Context {
+    /// Whether time in this context occupies a CPU core.
+    #[must_use]
+    pub fn is_cpu(self) -> bool {
+        !matches!(self, Context::DmaEngine)
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Context::App => "app",
+            Context::Syscall => "syscall",
+            Context::Interrupt => "irq",
+            Context::KernelThread => "kthread",
+            Context::DmaEngine => "dma",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Driver operations of Table 1 (plus interface costs), the columns of
+/// Figure 6's breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Op 1 — locating physical page descriptors (gang or per-page).
+    Prep,
+    /// Op 2 — allocating destination pages and replacing PTEs.
+    Remap,
+    /// Op 3 — assembling the scatter-gather list and programming the
+    /// DMA engine descriptors.
+    DmaConfig,
+    /// The byte copy itself (DMA transfer time, or CPU memcpy for the
+    /// baseline).
+    Copy,
+    /// Op 4 — releasing old pages (CAS/final PTE + frees).
+    Release,
+    /// Op 5 — delivering the completion notification.
+    Notify,
+    /// User/kernel crossings and queue operations.
+    Interface,
+    /// Cache maintenance (baseline only — memif's engine is coherent).
+    CacheMaint,
+}
+
+impl Phase {
+    /// All phases in presentation order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Prep,
+        Phase::Remap,
+        Phase::DmaConfig,
+        Phase::Copy,
+        Phase::Release,
+        Phase::Notify,
+        Phase::Interface,
+        Phase::CacheMaint,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Prep => "prep",
+            Phase::Remap => "remap",
+            Phase::DmaConfig => "dma-cfg",
+            Phase::Copy => "copy",
+            Phase::Release => "release",
+            Phase::Notify => "notify",
+            Phase::Interface => "interface",
+            Phase::CacheMaint => "cache",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated cost per phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    costs: BTreeMap<Phase, SimDuration>,
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cost` to `phase`.
+    pub fn add(&mut self, phase: Phase, cost: SimDuration) {
+        *self.costs.entry(phase).or_default() += cost;
+    }
+
+    /// Cost accumulated for `phase`.
+    #[must_use]
+    pub fn get(&self, phase: Phase) -> SimDuration {
+        self.costs.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Sum over all phases.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.costs.values().copied().sum()
+    }
+
+    /// Sum over all phases except the byte copy — the "management"
+    /// overhead the paper's optimizations target.
+    #[must_use]
+    pub fn overhead(&self) -> SimDuration {
+        self.total().saturating_sub(self.get(Phase::Copy))
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for (phase, cost) in &other.costs {
+            self.add(*phase, *cost);
+        }
+    }
+
+    /// Iterates over `(phase, cost)` pairs in presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, SimDuration)> + '_ {
+        Phase::ALL.iter().map(|p| (*p, self.get(*p)))
+    }
+}
+
+/// Busy-time accumulation per execution context.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UsageMeter {
+    busy: BTreeMap<Context, SimDuration>,
+}
+
+impl UsageMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `cost` of busy time to `ctx`.
+    pub fn charge(&mut self, ctx: Context, cost: SimDuration) {
+        *self.busy.entry(ctx).or_default() += cost;
+    }
+
+    /// Busy time accumulated by `ctx`.
+    #[must_use]
+    pub fn busy(&self, ctx: Context) -> SimDuration {
+        self.busy.get(&ctx).copied().unwrap_or_default()
+    }
+
+    /// Total CPU busy time (all contexts with [`Context::is_cpu`]).
+    #[must_use]
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.busy
+            .iter()
+            .filter(|(c, _)| c.is_cpu())
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// CPU usage over a wall-clock window, as a fraction of one core
+    /// (1.0 = one core fully busy). This is the line series in Figure 6.
+    #[must_use]
+    pub fn cpu_usage(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.cpu_busy().as_ns() as f64 / window.as_ns() as f64
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.busy.clear();
+    }
+}
+
+/// A pairing of a wall-clock interval with meters, convenient for
+/// experiment harnesses.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+    /// Busy time per context.
+    pub meter: UsageMeter,
+    /// Cost per driver phase.
+    pub phases: PhaseBreakdown,
+}
+
+impl Measurement {
+    /// Wall-clock span of the measurement.
+    #[must_use]
+    pub fn wall(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// CPU usage over the measurement window (fraction of one core).
+    #[must_use]
+    pub fn cpu_usage(&self) -> f64 {
+        self.meter.cpu_usage(self.wall())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accumulation() {
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Prep, SimDuration::from_ns(100));
+        b.add(Phase::Prep, SimDuration::from_ns(50));
+        b.add(Phase::Copy, SimDuration::from_ns(1_000));
+        assert_eq!(b.get(Phase::Prep).as_ns(), 150);
+        assert_eq!(b.total().as_ns(), 1_150);
+        assert_eq!(b.overhead().as_ns(), 150);
+        assert_eq!(b.get(Phase::Release), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn phase_merge() {
+        let mut a = PhaseBreakdown::new();
+        a.add(Phase::Remap, SimDuration::from_ns(10));
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Remap, SimDuration::from_ns(5));
+        b.add(Phase::Notify, SimDuration::from_ns(1));
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Remap).as_ns(), 15);
+        assert_eq!(a.get(Phase::Notify).as_ns(), 1);
+    }
+
+    #[test]
+    fn usage_fractions() {
+        let mut m = UsageMeter::new();
+        m.charge(Context::Syscall, SimDuration::from_ns(250));
+        m.charge(Context::KernelThread, SimDuration::from_ns(250));
+        m.charge(Context::DmaEngine, SimDuration::from_ns(9_999));
+        assert_eq!(m.cpu_busy().as_ns(), 500, "DMA time is not CPU time");
+        let usage = m.cpu_usage(SimDuration::from_ns(1_000));
+        assert!((usage - 0.5).abs() < 1e-9);
+        assert_eq!(m.cpu_usage(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn measurement_window() {
+        let mut meas = Measurement {
+            start: SimTime::from_ns(1_000),
+            end: SimTime::from_ns(3_000),
+            ..Measurement::default()
+        };
+        meas.meter.charge(Context::App, SimDuration::from_ns(1_000));
+        assert_eq!(meas.wall().as_ns(), 2_000);
+        assert!((meas.cpu_usage() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_properties() {
+        assert!(Context::App.is_cpu());
+        assert!(!Context::DmaEngine.is_cpu());
+        assert_eq!(Context::Interrupt.to_string(), "irq");
+        assert_eq!(Phase::DmaConfig.to_string(), "dma-cfg");
+    }
+}

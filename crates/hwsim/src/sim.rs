@@ -1,0 +1,303 @@
+//! The discrete-event simulation engine.
+//!
+//! A minimal, deterministic DES: events are boxed closures ordered by
+//! `(time, sequence-number)`, executed against a caller-supplied world
+//! `W`. The engine corresponds to the real machine's passage of time; all
+//! memif "actors" — application threads, the kernel worker, interrupt
+//! handlers, the DMA engine — are expressed as events that charge costs
+//! and schedule follow-ups.
+//!
+//! Events may be cancelled (needed by the bandwidth-sharing flow network,
+//! which reschedules completions whenever contention changes, and by the
+//! proceed-and-recover migration abort path).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// The type of every scheduled action.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    id: u64,
+    action: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert for earliest-first order.
+        // Ties break by insertion order for determinism.
+        other.time.cmp(&self.time).then(other.id.cmp(&self.id))
+    }
+}
+
+/// The event queue and virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use memif_hwsim::{Sim, SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// let mut sim: Sim<Counter> = Sim::new();
+/// let mut world = Counter(0);
+/// sim.schedule_at(SimTime::from_ns(100), |w: &mut Counter, s| {
+///     w.0 += 1;
+///     // Events can schedule follow-ups.
+///     s.schedule_after(SimDuration::from_ns(50), |w: &mut Counter, _| w.0 += 10);
+/// });
+/// sim.run(&mut world);
+/// assert_eq!(world.0, 11);
+/// assert_eq!(sim.now(), SimTime::from_ns(150));
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<W>>,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A simulation at time zero with no pending events.
+    #[must_use]
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_id: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics).
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|ev| !self.cancelled.contains(&ev.id))
+            .count()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            id,
+            action: Box::new(action),
+        });
+        EventId(id)
+    }
+
+    /// Schedules `action` after a delay.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already run (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Executes one event. Returns `false` if the queue was empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 500 million events — a runaway-simulation backstop.
+    pub fn run(&mut self, world: &mut W) {
+        let limit = self.executed + 500_000_000;
+        while self.step(world) {
+            assert!(self.executed < limit, "simulation did not converge");
+        }
+    }
+
+    /// Runs until the clock would pass `until` (events at exactly `until`
+    /// still execute) or no events remain.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            match self.heap.peek() {
+                Some(ev) if ev.time <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < until && self.heap.is_empty() {
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_ns(30), |w, s| {
+            w.log.push((s.now().as_ns(), "c"))
+        });
+        sim.schedule_at(SimTime::from_ns(10), |w, s| {
+            w.log.push((s.now().as_ns(), "a"))
+        });
+        sim.schedule_at(SimTime::from_ns(20), |w, s| {
+            w.log.push((s.now().as_ns(), "b"))
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let t = SimTime::from_ns(5);
+        sim.schedule_at(t, |w, _| w.log.push((0, "first")));
+        sim.schedule_at(t, |w, _| w.log.push((0, "second")));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(0, "first"), (0, "second")]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_ns(1), |_, s| {
+            s.schedule_after(
+                SimDuration::from_ns(4),
+                |w: &mut World, s: &mut Sim<World>| {
+                    w.log.push((s.now().as_ns(), "chained"));
+                },
+            );
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(5, "chained")]);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let id = sim.schedule_at(SimTime::from_ns(10), |w, _| w.log.push((0, "cancelled")));
+        sim.schedule_at(SimTime::from_ns(5), |w, _| w.log.push((0, "kept")));
+        sim.cancel(id);
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(0, "kept")]);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_the_clock() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_ns(10), |w, _| w.log.push((0, "early")));
+        sim.schedule_at(SimTime::from_ns(100), |w, _| w.log.push((0, "late")));
+        sim.run_until(&mut w, SimTime::from_ns(50));
+        assert_eq!(w.log, vec![(0, "early")]);
+        assert_eq!(sim.now(), SimTime::from_ns(10));
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime::from_ns(10), |_, s| {
+            s.schedule_at(SimTime::from_ns(5), |_, _| {});
+        });
+        sim.run(&mut w);
+    }
+}

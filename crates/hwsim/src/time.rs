@@ -1,0 +1,244 @@
+//! Virtual time: nanosecond instants and durations on the simulated SoC.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since machine power-on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Machine power-on.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The instant `ns` nanoseconds after power-on.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since power-on.
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `ns` nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// A span of `us` microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// A span of `ms` milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// A span of fractional microseconds (rounds to nearest ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    #[must_use]
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration {us} µs");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Length in (fractional) microseconds.
+    #[must_use]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Length in (fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The time needed to move `bytes` at `gbps` gigabytes per second
+    /// (10^9 bytes/s), rounded up to the next nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive.
+    #[must_use]
+    pub fn for_bytes(bytes: u64, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        // gbps GB/s == gbps bytes/ns.
+        SimDuration((bytes as f64 / gbps).ceil() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.checked_sub(rhs.0).expect("negative duration");
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100);
+        let d = SimDuration::from_us(2);
+        assert_eq!((t + d).as_ns(), 2_100);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), SimDuration::ZERO);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn bandwidth_duration() {
+        // 6.2 GB/s over 4 KiB: ~660 ns.
+        let d = SimDuration::for_bytes(4096, 6.2);
+        assert_eq!(d.as_ns(), 661);
+        // 24 GB/s over 1 MiB.
+        let d = SimDuration::for_bytes(1 << 20, 24.0);
+        assert_eq!(d.as_ns(), 43_691);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_us(15).to_string(), "15.000µs");
+        assert_eq!(SimDuration::from_ms(3).to_string(), "3.000ms");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_us_f64(1.5).as_ns(), 1_500);
+        assert_eq!(SimDuration::from_us(1).as_us_f64(), 1.0);
+        let sum: SimDuration = [SimDuration::from_ns(1), SimDuration::from_ns(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(sum.as_ns(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_sub_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+}

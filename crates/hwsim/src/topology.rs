@@ -1,0 +1,263 @@
+//! Memory topology: heterogeneous banks abstracted as pseudo-NUMA nodes.
+//!
+//! The paper's enabling abstraction (§1, §6.1): fast and slow memories
+//! appear to the OS as separate NUMA nodes, letting mature facilities
+//! (allocation policy, migration targets) apply unchanged. On KeyStone II
+//! the CPUs and the 8 GB DDR3 share node 0 while the 6 MB on-chip SRAM is
+//! node 1. This module also reproduces the bring-up quirk the authors had
+//! to patch around: the SRAM bank's physical address is *lower* than any
+//! DDR bank, so it must stay invisible to the boot allocator and only be
+//! onlined after boot (§6.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::phys::PhysAddr;
+
+/// A pseudo-NUMA node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Memory technology class of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// Capacity-limited, high-bandwidth memory (on-chip SRAM, eDRAM,
+    /// die-stacked DRAM).
+    Fast,
+    /// Large-capacity commodity memory (DDR, NVRAM).
+    Slow,
+}
+
+/// One memory bank exposed as a pseudo-NUMA node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryNode {
+    /// Node id (CPUs live on the first `Slow` node, as on KeyStone II).
+    pub id: NodeId,
+    /// Human-readable name.
+    pub name: String,
+    /// Technology class.
+    pub kind: MemoryKind,
+    /// Physical base address of the bank.
+    pub base: PhysAddr,
+    /// Bank size in bytes.
+    pub bytes: u64,
+    /// Measured bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Whether the bank is visible to the boot memory allocator. The
+    /// SRAM bank must not be, or the kernel "uses the capacity-limited
+    /// SRAM for booting and then crashes due to out of memory" (§6.1).
+    pub boot_visible: bool,
+}
+
+impl MemoryNode {
+    /// One-past-the-end physical address.
+    #[must_use]
+    pub fn end(&self) -> PhysAddr {
+        self.base.offset(self.bytes)
+    }
+
+    /// True if `addr` falls inside this bank.
+    #[must_use]
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// The machine's memory topology and its boot state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<MemoryNode>,
+    cpu_count: u32,
+    booted: bool,
+}
+
+impl Topology {
+    /// The TI KeyStone II SoC of the paper's evaluation (Table 2):
+    /// 4 Cortex-A15 cores; node 0 = 8 GB DDR3 @ 6.2 GB/s at a high
+    /// physical base; node 1 = 6 MB MSMC SRAM @ 24 GB/s at a low base,
+    /// hidden from the boot allocator.
+    #[must_use]
+    pub fn keystone_ii() -> Self {
+        Topology {
+            nodes: vec![
+                MemoryNode {
+                    id: NodeId(0),
+                    name: "ddr3".to_owned(),
+                    kind: MemoryKind::Slow,
+                    base: PhysAddr::new(0x8_0000_0000),
+                    bytes: 8 << 30,
+                    bandwidth_gbps: 6.2,
+                    boot_visible: true,
+                },
+                MemoryNode {
+                    id: NodeId(1),
+                    name: "msmc-sram".to_owned(),
+                    kind: MemoryKind::Fast,
+                    base: PhysAddr::new(0x0C00_0000),
+                    bytes: 6 << 20,
+                    bandwidth_gbps: 24.0,
+                    boot_visible: false,
+                },
+            ],
+            cpu_count: 4,
+            booted: false,
+        }
+    }
+
+    /// A custom topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, ids are not `0..n`, or banks overlap.
+    #[must_use]
+    pub fn custom(nodes: Vec<MemoryNode>, cpu_count: u32) -> Self {
+        assert!(!nodes.is_empty(), "topology needs at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.0 as usize, i, "node ids must be dense and ordered");
+            for m in &nodes[..i] {
+                let disjoint = n.base >= m.end() || m.base >= n.end();
+                assert!(disjoint, "banks {} and {} overlap", m.name, n.name);
+            }
+        }
+        Topology {
+            nodes,
+            cpu_count,
+            booted: false,
+        }
+    }
+
+    /// Number of CPU cores.
+    #[must_use]
+    pub fn cpu_count(&self) -> u32 {
+        self.cpu_count
+    }
+
+    /// Completes boot: banks with `boot_visible == false` become
+    /// available (the paper's patched boot memory allocator, §6.1).
+    pub fn complete_boot(&mut self) {
+        self.booted = true;
+    }
+
+    /// Whether boot has completed.
+    #[must_use]
+    pub fn is_booted(&self) -> bool {
+        self.booted
+    }
+
+    /// All nodes, regardless of visibility.
+    #[must_use]
+    pub fn all_nodes(&self) -> &[MemoryNode] {
+        &self.nodes
+    }
+
+    /// Nodes currently usable for allocation: all of them after boot,
+    /// only the boot-visible ones before.
+    pub fn online_nodes(&self) -> impl Iterator<Item = &MemoryNode> {
+        let booted = self.booted;
+        self.nodes.iter().filter(move |n| booted || n.boot_visible)
+    }
+
+    /// Looks up a node by id, if online.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&MemoryNode> {
+        self.online_nodes().find(|n| n.id == id)
+    }
+
+    /// The first online node of `kind`.
+    #[must_use]
+    pub fn node_of_kind(&self, kind: MemoryKind) -> Option<&MemoryNode> {
+        self.online_nodes().find(|n| n.kind == kind)
+    }
+
+    /// Which node backs `addr`, if any.
+    #[must_use]
+    pub fn node_of_addr(&self, addr: PhysAddr) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.contains(addr)).map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystone_shape_matches_table_2() {
+        let topo = Topology::keystone_ii();
+        assert_eq!(topo.cpu_count(), 4);
+        let slow = topo.node_of_kind(MemoryKind::Slow).unwrap();
+        assert_eq!(slow.bytes, 8 << 30);
+        assert!((slow.bandwidth_gbps - 6.2).abs() < 1e-9);
+        // SRAM sits below DDR physically — the boot hazard of §6.1.
+        let nodes = topo.all_nodes();
+        assert!(nodes[1].base < nodes[0].base);
+    }
+
+    #[test]
+    fn sram_hidden_until_boot_completes() {
+        let mut topo = Topology::keystone_ii();
+        assert!(
+            topo.node_of_kind(MemoryKind::Fast).is_none(),
+            "SRAM hidden at boot"
+        );
+        assert_eq!(topo.online_nodes().count(), 1);
+        assert!(topo.node(NodeId(1)).is_none());
+        topo.complete_boot();
+        assert!(topo.is_booted());
+        let fast = topo.node_of_kind(MemoryKind::Fast).unwrap();
+        assert_eq!(fast.bytes, 6 << 20);
+        assert!((fast.bandwidth_gbps - 24.0).abs() < 1e-9);
+        assert_eq!(topo.online_nodes().count(), 2);
+    }
+
+    #[test]
+    fn addr_to_node_mapping() {
+        let topo = Topology::keystone_ii();
+        assert_eq!(
+            topo.node_of_addr(PhysAddr::new(0x8_0000_1000)),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            topo.node_of_addr(PhysAddr::new(0x0C00_0000)),
+            Some(NodeId(1))
+        );
+        assert_eq!(
+            topo.node_of_addr(PhysAddr::new(0x0C00_0000 + (6 << 20))),
+            None
+        );
+        assert_eq!(topo.node_of_addr(PhysAddr::new(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_banks_rejected() {
+        let n0 = MemoryNode {
+            id: NodeId(0),
+            name: "a".into(),
+            kind: MemoryKind::Slow,
+            base: PhysAddr::new(0),
+            bytes: 4096,
+            bandwidth_gbps: 1.0,
+            boot_visible: true,
+        };
+        let n1 = MemoryNode {
+            id: NodeId(1),
+            name: "b".into(),
+            base: PhysAddr::new(2048),
+            ..n0.clone()
+        };
+        let _ = Topology::custom(vec![n0, n1], 1);
+    }
+
+    #[test]
+    fn node_contains_bounds() {
+        let topo = Topology::keystone_ii();
+        let sram = &topo.all_nodes()[1];
+        assert!(sram.contains(sram.base));
+        assert!(!sram.contains(sram.end()));
+    }
+}

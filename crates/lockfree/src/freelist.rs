@@ -1,0 +1,143 @@
+//! The lock-free free list of request slots (paper Figure 3a).
+//!
+//! A Treiber stack over the same index-linked arena as the queues. LIFO
+//! order is deliberate: a just-freed slot is the most likely to be warm in
+//! the allocating core's cache. The head word carries a modification tag,
+//! and — as everywhere in this crate — slot links are only mutated with
+//! tag-advancing writes, so pop's speculative read of a possibly-stolen
+//! slot's link is rendered harmless by the head CAS.
+
+use crate::link::{AtomicLink, Color, Link, SlotIndex, NULL_INDEX};
+use crate::slot::Slot;
+
+/// A lock-free LIFO free list of slot indices.
+#[derive(Debug)]
+pub struct FreeList {
+    head: AtomicLink,
+}
+
+impl Default for FreeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreeList {
+    /// An empty free list.
+    #[must_use]
+    pub fn new() -> Self {
+        FreeList {
+            head: AtomicLink::new(Link::null(0, Color::Blue)),
+        }
+    }
+
+    /// Pushes the caller-owned slot `e`.
+    pub fn push(&self, slots: &[Slot], e: SlotIndex) {
+        let eslot = &slots[e as usize];
+        loop {
+            let h = self.head.load();
+            let own = eslot.link.load();
+            eslot.link.store(Link {
+                tag: own.tag.wrapping_add(1),
+                color: Color::Blue,
+                index: h.index,
+            });
+            if self
+                .head
+                .compare_exchange(
+                    h,
+                    Link {
+                        tag: h.tag.wrapping_add(1),
+                        color: Color::Blue,
+                        index: e,
+                    },
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pops a slot, or `None` if the list is empty.
+    pub fn pop(&self, slots: &[Slot]) -> Option<SlotIndex> {
+        loop {
+            let h = self.head.load();
+            if h.index == NULL_INDEX {
+                return None;
+            }
+            // Speculative read: if the slot was stolen and recycled in the
+            // meantime, the tagged head CAS below fails and we retry.
+            let next = slots[h.index as usize].link.load().index;
+            if self
+                .head
+                .compare_exchange(
+                    h,
+                    Link {
+                        tag: h.tag.wrapping_add(1),
+                        color: Color::Blue,
+                        index: next,
+                    },
+                )
+                .is_ok()
+            {
+                return Some(h.index);
+            }
+        }
+    }
+
+    /// True if the list held no slot at the read instant.
+    pub fn is_empty(&self) -> bool {
+        self.head.load().index == NULL_INDEX
+    }
+
+    /// Number of free slots, by traversal (diagnostics; quiescent only).
+    pub fn len_approx(&self, slots: &[Slot]) -> usize {
+        let mut n = 0;
+        let mut idx = self.head.load().index;
+        for _ in 0..slots.len() {
+            if idx == NULL_INDEX {
+                break;
+            }
+            n += 1;
+            idx = slots[idx as usize].link.load().index;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(n: usize) -> Vec<Slot> {
+        (0..n).map(|_| Slot::new()).collect()
+    }
+
+    #[test]
+    fn lifo_order() {
+        let slots = arena(4);
+        let f = FreeList::new();
+        assert!(f.is_empty());
+        f.push(&slots, 0);
+        f.push(&slots, 1);
+        f.push(&slots, 2);
+        assert_eq!(f.len_approx(&slots), 3);
+        assert_eq!(f.pop(&slots), Some(2));
+        assert_eq!(f.pop(&slots), Some(1));
+        assert_eq!(f.pop(&slots), Some(0));
+        assert_eq!(f.pop(&slots), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn push_pop_cycles() {
+        let slots = arena(2);
+        let f = FreeList::new();
+        for i in 0..100 {
+            f.push(&slots, (i % 2) as SlotIndex);
+            assert_eq!(f.pop(&slots), Some((i % 2) as SlotIndex));
+        }
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Lock-free user/kernel interface structures for memif.
+//!
+//! The memif paper (Lin & Liu, ASPLOS'16, §4.2–4.3) makes applications and
+//! the kernel communicate through a set of *lock-free* data structures that
+//! live in a shared, pinned memory region:
+//!
+//! * a **free list** of `mov_req` slots,
+//! * a **staging queue** — a novel *red–blue* lock-free queue whose links
+//!   carry a queue-wide color flag,
+//! * a **submission queue**, and
+//! * a **completion queue** (implemented as two: success and failure).
+//!
+//! This crate reproduces that design in safe Rust. Links are indices into a
+//! slot arena, exactly as in the paper ("the only object references, the
+//! link field in `mov_req`, are indices into the array of `mov_req`, which
+//! will be validated by the memif driver before use"). On top of the paper's
+//! 31-bit index + 1-bit color encoding we pack a 32-bit modification tag
+//! into every link word so the structures are ABA-safe under real
+//! preemptive threads, not just under a cooperative kernel.
+//!
+//! The central type is [`Region`], the shared-region analogue of the
+//! memory-mapped area in Figure 3 of the paper. The queue algorithm and
+//! its correctness argument are written up in
+//! `docs/red-blue-queue.md` at the repository root. All queue operations are
+//! wait-population-oblivious CAS loops: no operation ever blocks, takes a
+//! lock, or spins on another thread's *progress* (only on its *interference*),
+//! so a stalled application thread can never wedge the kernel side.
+//!
+//! # Example
+//!
+//! ```
+//! use memif_lockfree::{Region, QueueId, Color, MovReq, MoveKind};
+//!
+//! let region = Region::new(8).unwrap();
+//! let slot = region.alloc_slot().expect("free list non-empty");
+//! let req = MovReq { id: 1, kind: MoveKind::Replicate, nr_pages: 4, ..MovReq::default() };
+//!
+//! // Submitting through the staging queue returns the queue color, which
+//! // tells the caller whether *it* must flush the queue (BLUE) or whether
+//! // an active kernel thread will (RED).
+//! let color = region.enqueue(QueueId::Staging, slot, &req).unwrap();
+//! assert_eq!(color, Color::Blue);
+//!
+//! let deq = region.dequeue(QueueId::Staging).unwrap().expect("one element");
+//! assert_eq!(deq.req.id, 1);
+//! region.free_slot(deq.slot).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod freelist;
+mod link;
+mod movreq;
+mod queue;
+mod region;
+mod slot;
+
+pub use freelist::FreeList;
+pub use link::{Color, Link, SlotIndex, MAX_SLOTS, NULL_INDEX};
+pub use movreq::{MovReq, MoveKind, MoveStatus, PAYLOAD_WORDS};
+pub use queue::{ColorQueue, Dequeued, SetColorError};
+pub use region::{QueueId, Region, RegionError, RegionStats};
+pub use slot::Slot;

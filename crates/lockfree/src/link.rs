@@ -1,0 +1,258 @@
+//! Packed link words.
+//!
+//! Every slot in the shared region carries one 64-bit atomic *link* word,
+//! the `link` field of `mov_req` in the paper (Figure 3b). The paper packs
+//! a 1-bit queue color next to a slot index; we additionally reserve the
+//! upper 32 bits for a per-link modification tag that defeats ABA:
+//!
+//! ```text
+//!  63            32 31      31 30                0
+//! +----------------+----------+------------------+
+//! |   tag (32 b)   | color(1) |   index (31 b)   |
+//! +----------------+----------+------------------+
+//! ```
+//!
+//! The index `0x7FFF_FFFF` is the NULL sentinel (end of list / empty).
+//! Every mutation of a link word increments its tag, so a compare-and-swap
+//! that expects a stale value fails even if the (index, color) pair has
+//! cycled back — the exact hazard that arises once slots are recycled
+//! through the free list by preemptible user threads.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index of a slot inside a [`Region`](crate::Region)'s arena.
+pub type SlotIndex = u32;
+
+/// The NULL link index: end-of-list / empty-queue sentinel.
+pub const NULL_INDEX: SlotIndex = 0x7FFF_FFFF;
+
+/// Maximum number of slots a region may hold (31-bit index space minus NULL).
+pub const MAX_SLOTS: usize = NULL_INDEX as usize;
+
+const INDEX_BITS: u64 = 0x7FFF_FFFF;
+const COLOR_BIT: u64 = 1 << 31;
+const TAG_SHIFT: u32 = 32;
+
+/// The queue-wide flag carried by every link of a red–blue queue (§4.3).
+///
+/// The color of the *staging* queue encodes flushing responsibility:
+/// `Blue` means the application must flush queued requests to the
+/// submission queue (and kick the kernel with `MOV_ONE`); `Red` means an
+/// active kernel thread will drain the queue, so submitters may return
+/// immediately after enqueueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Color {
+    /// The application is responsible for flushing the queue.
+    #[default]
+    Blue,
+    /// The kernel worker is active and will flush the queue.
+    Red,
+}
+
+impl Color {
+    fn from_bit(bit: bool) -> Self {
+        if bit {
+            Color::Red
+        } else {
+            Color::Blue
+        }
+    }
+
+    fn bit(self) -> bool {
+        matches!(self, Color::Red)
+    }
+
+    /// The opposite color.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Color::Blue => Color::Red,
+            Color::Red => Color::Blue,
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Color::Blue => f.write_str("blue"),
+            Color::Red => f.write_str("red"),
+        }
+    }
+}
+
+/// An unpacked snapshot of a link word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Per-link modification counter (wraps at 2^32; see module docs).
+    pub tag: u32,
+    /// The color bit entangled with this link (§4.3).
+    pub color: Color,
+    /// Successor slot index, or [`NULL_INDEX`].
+    pub index: SlotIndex,
+}
+
+impl Link {
+    /// A NULL link (end of list) carrying `color` and `tag`.
+    #[must_use]
+    pub fn null(tag: u32, color: Color) -> Self {
+        Link {
+            tag,
+            color,
+            index: NULL_INDEX,
+        }
+    }
+
+    /// True if this link terminates a list.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.index == NULL_INDEX
+    }
+
+    /// The link that follows `self` after one mutation: same fields but
+    /// with the tag advanced. Callers override `index`/`color` as needed.
+    #[must_use]
+    pub fn bumped(self) -> Self {
+        Link {
+            tag: self.tag.wrapping_add(1),
+            ..self
+        }
+    }
+
+    /// Successor with the color propagated, as performed by `enqueue`
+    /// ("it then propagates the color to the new tail's next link").
+    #[must_use]
+    pub fn successor(self, index: SlotIndex) -> Self {
+        Link {
+            tag: self.tag.wrapping_add(1),
+            color: self.color,
+            index,
+        }
+    }
+
+    fn pack(self) -> u64 {
+        debug_assert!(u64::from(self.index) <= INDEX_BITS);
+        (u64::from(self.tag) << TAG_SHIFT)
+            | (if self.color.bit() { COLOR_BIT } else { 0 })
+            | u64::from(self.index)
+    }
+
+    fn unpack(word: u64) -> Self {
+        Link {
+            tag: (word >> TAG_SHIFT) as u32,
+            color: Color::from_bit(word & COLOR_BIT != 0),
+            index: (word & INDEX_BITS) as SlotIndex,
+        }
+    }
+}
+
+/// A 64-bit atomic link word.
+#[derive(Debug)]
+pub struct AtomicLink(AtomicU64);
+
+impl AtomicLink {
+    /// Creates a link word holding `link`.
+    pub fn new(link: Link) -> Self {
+        AtomicLink(AtomicU64::new(link.pack()))
+    }
+
+    /// Atomically loads the link.
+    pub fn load(&self) -> Link {
+        Link::unpack(self.0.load(Ordering::Acquire))
+    }
+
+    /// Atomically stores `link`.
+    ///
+    /// Only valid while the caller exclusively owns the slot (freshly
+    /// allocated or just dequeued); concurrent readers may still observe
+    /// the old value, which the tag discipline renders harmless.
+    pub fn store(&self, link: Link) {
+        self.0.store(link.pack(), Ordering::Release);
+    }
+
+    /// Single compare-and-swap of the whole link word — the primitive that
+    /// lets a queue operation and the color access happen atomically
+    /// together (§4.3: "performing a queue operation (i.e., link update)
+    /// and setting/getting color with a single CAS").
+    ///
+    /// Returns `Ok(())` on success and the observed value on failure.
+    pub fn compare_exchange(&self, current: Link, new: Link) -> Result<(), Link> {
+        self.0
+            .compare_exchange(
+                current.pack(),
+                new.pack(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(Link::unpack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for &tag in &[0u32, 1, 7, u32::MAX] {
+            for &color in &[Color::Blue, Color::Red] {
+                for &index in &[0 as SlotIndex, 5, 1 << 20, NULL_INDEX] {
+                    let l = Link { tag, color, index };
+                    assert_eq!(Link::unpack(l.pack()), l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_and_bump() {
+        let l = Link::null(3, Color::Red);
+        assert!(l.is_null());
+        assert_eq!(l.bumped().tag, 4);
+        assert_eq!(l.bumped().color, Color::Red);
+        let s = l.successor(42);
+        assert_eq!(s.index, 42);
+        assert_eq!(s.color, Color::Red);
+        assert_eq!(s.tag, 4);
+    }
+
+    #[test]
+    fn tag_wraps() {
+        let l = Link {
+            tag: u32::MAX,
+            color: Color::Blue,
+            index: 1,
+        };
+        assert_eq!(l.bumped().tag, 0);
+    }
+
+    #[test]
+    fn color_flips_and_displays() {
+        assert_eq!(Color::Blue.flipped(), Color::Red);
+        assert_eq!(Color::Red.flipped(), Color::Blue);
+        assert_eq!(Color::Blue.to_string(), "blue");
+        assert_eq!(Color::Red.to_string(), "red");
+        assert_eq!(Color::default(), Color::Blue);
+    }
+
+    #[test]
+    fn atomic_cas_detects_stale_tag() {
+        let a = AtomicLink::new(Link::null(0, Color::Blue));
+        let stale = a.load();
+        a.store(stale.bumped());
+        let err = a
+            .compare_exchange(stale, stale.successor(9))
+            .expect_err("stale CAS must fail");
+        assert_eq!(err.tag, 1);
+    }
+
+    #[test]
+    fn atomic_cas_succeeds_when_fresh() {
+        let a = AtomicLink::new(Link::null(0, Color::Blue));
+        let cur = a.load();
+        a.compare_exchange(cur, cur.successor(7)).unwrap();
+        assert_eq!(a.load().index, 7);
+    }
+}

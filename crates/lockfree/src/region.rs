@@ -1,0 +1,345 @@
+//! The shared request region (paper Figure 3).
+//!
+//! One region backs one memif instance. In the paper this is a set of
+//! pinned kernel pages mapped into the application's address space; here
+//! it is a single heap allocation shared by the "user" and "kernel" sides
+//! through an `Arc`. Layout mirrors the paper: queue/list metadata
+//! followed by an array of `mov_req` slots.
+
+use std::fmt;
+
+use crate::freelist::FreeList;
+use crate::link::{Color, SlotIndex, MAX_SLOTS};
+use crate::movreq::MovReq;
+use crate::queue::{ColorQueue, Dequeued, SetColorError};
+use crate::slot::Slot;
+
+/// Identifies one of the region's queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueId {
+    /// Holds submitted requests not yet known to the kernel. This is the
+    /// red–blue queue; its color assigns flushing responsibility.
+    Staging,
+    /// Holds requests known to the kernel, waiting to be processed.
+    Submission,
+    /// Completed requests posted back to the application — successes.
+    CompletionOk,
+    /// Completed requests posted back to the application — failures.
+    /// (The paper implements the completion queue "as two: one for
+    /// successful moves and the other for failed ones".)
+    CompletionErr,
+}
+
+impl QueueId {
+    /// All queue identifiers, in layout order.
+    pub const ALL: [QueueId; 4] = [
+        QueueId::Staging,
+        QueueId::Submission,
+        QueueId::CompletionOk,
+        QueueId::CompletionErr,
+    ];
+}
+
+/// Errors arising from region operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The requested capacity was zero or above [`MAX_SLOTS`].
+    BadCapacity(usize),
+    /// A slot index failed kernel-side validation (out of bounds). The
+    /// paper: indices "will be validated by the memif driver before use".
+    InvalidSlot(SlotIndex),
+    /// The free list was empty — too many requests in flight.
+    Exhausted,
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::BadCapacity(n) => write!(f, "bad region capacity {n}"),
+            RegionError::InvalidSlot(i) => write!(f, "slot index {i} out of bounds"),
+            RegionError::Exhausted => f.write_str("no free request slots"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Occupancy snapshot of a region (diagnostics; quiescent only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionStats {
+    /// Free request slots.
+    pub free: usize,
+    /// Requests staged but not yet flushed to the kernel.
+    pub staging: usize,
+    /// Requests queued for the kernel worker.
+    pub submission: usize,
+    /// Successful completions awaiting retrieval.
+    pub completion_ok: usize,
+    /// Failed completions awaiting retrieval.
+    pub completion_err: usize,
+}
+
+/// The shared region: slot arena, free list, and the four queues.
+///
+/// `capacity` request slots are usable by the application; four extra
+/// slots serve as the queues' initial dummies (the dummy identity rotates
+/// as elements flow, but the total is conserved).
+pub struct Region {
+    slots: Box<[Slot]>,
+    capacity: usize,
+    free: FreeList,
+    staging: ColorQueue,
+    submission: ColorQueue,
+    completion_ok: ColorQueue,
+    completion_err: ColorQueue,
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Region")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Region {
+    /// Creates a region with `capacity` usable request slots.
+    ///
+    /// The staging queue starts **blue**: with no kernel thread active,
+    /// the first submitter is responsible for flushing and kicking the
+    /// kernel (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::BadCapacity`] if `capacity` is zero or exceeds
+    /// [`MAX_SLOTS`] − 4.
+    pub fn new(capacity: usize) -> Result<Self, RegionError> {
+        if capacity == 0 || capacity > MAX_SLOTS - QueueId::ALL.len() {
+            return Err(RegionError::BadCapacity(capacity));
+        }
+        let total = capacity + QueueId::ALL.len();
+        let slots: Box<[Slot]> = (0..total).map(|_| Slot::new()).collect();
+        let free = FreeList::new();
+        for i in 0..capacity {
+            free.push(&slots, i as SlotIndex);
+        }
+        let dummy = |k: usize| (capacity + k) as SlotIndex;
+        let region = Region {
+            staging: ColorQueue::new(&slots, dummy(0), Color::Blue),
+            submission: ColorQueue::new(&slots, dummy(1), Color::Blue),
+            completion_ok: ColorQueue::new(&slots, dummy(2), Color::Blue),
+            completion_err: ColorQueue::new(&slots, dummy(3), Color::Blue),
+            slots,
+            capacity,
+            free,
+        };
+        Ok(region)
+    }
+
+    /// Usable request-slot capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn queue(&self, id: QueueId) -> &ColorQueue {
+        match id {
+            QueueId::Staging => &self.staging,
+            QueueId::Submission => &self.submission,
+            QueueId::CompletionOk => &self.completion_ok,
+            QueueId::CompletionErr => &self.completion_err,
+        }
+    }
+
+    /// Validates a slot index as the kernel driver does before use.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidSlot`] if out of bounds.
+    pub fn validate(&self, slot: SlotIndex) -> Result<(), RegionError> {
+        if (slot as usize) < self.slots.len() {
+            Ok(())
+        } else {
+            Err(RegionError::InvalidSlot(slot))
+        }
+    }
+
+    /// Takes a blank slot from the free list (`AllocRequest`).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::Exhausted`] when every slot is in flight.
+    pub fn alloc_slot(&self) -> Result<SlotIndex, RegionError> {
+        self.free.pop(&self.slots).ok_or(RegionError::Exhausted)
+    }
+
+    /// Returns a slot to the free list (`FreeRequest`).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidSlot`] if out of bounds.
+    pub fn free_slot(&self, slot: SlotIndex) -> Result<(), RegionError> {
+        self.validate(slot)?;
+        self.free.push(&self.slots, slot);
+        Ok(())
+    }
+
+    /// Enqueues the caller-owned `slot` carrying `req` onto queue `id`,
+    /// returning the observed queue color.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidSlot`] if out of bounds.
+    pub fn enqueue(
+        &self,
+        id: QueueId,
+        slot: SlotIndex,
+        req: &MovReq,
+    ) -> Result<Color, RegionError> {
+        self.validate(slot)?;
+        Ok(self.queue(id).enqueue(&self.slots, slot, req))
+    }
+
+    /// Dequeues from queue `id`; `Ok(None)` means empty.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` reserves room for kernel-side
+    /// validation failures.
+    pub fn dequeue(&self, id: QueueId) -> Result<Option<Dequeued>, RegionError> {
+        Ok(self.queue(id).dequeue(&self.slots))
+    }
+
+    /// Attempts to recolor queue `id` (only succeeds when empty; §4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`SetColorError::NotEmpty`] if the queue holds elements.
+    pub fn set_color(&self, id: QueueId, new: Color) -> Result<Color, SetColorError> {
+        self.queue(id).set_color(&self.slots, new)
+    }
+
+    /// The current color of queue `id`.
+    pub fn color(&self, id: QueueId) -> Color {
+        self.queue(id).color(&self.slots)
+    }
+
+    /// True if queue `id` held no element at the read instant.
+    pub fn is_empty(&self, id: QueueId) -> bool {
+        self.queue(id).is_empty(&self.slots)
+    }
+
+    /// Occupancy snapshot (diagnostics; meaningful when quiescent).
+    pub fn stats(&self) -> RegionStats {
+        RegionStats {
+            free: self.free.len_approx(&self.slots),
+            staging: self.staging.len_approx(&self.slots),
+            submission: self.submission.len_approx(&self.slots),
+            completion_ok: self.completion_ok.len_approx(&self.slots),
+            completion_err: self.completion_err.len_approx(&self.slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movreq::MoveKind;
+
+    fn req(id: u64) -> MovReq {
+        MovReq {
+            id,
+            kind: MoveKind::Replicate,
+            nr_pages: 1,
+            page_shift: 12,
+            ..MovReq::default()
+        }
+    }
+
+    #[test]
+    fn lifecycle_through_all_queues() {
+        let r = Region::new(4).unwrap();
+        let s = r.alloc_slot().unwrap();
+        let color = r.enqueue(QueueId::Staging, s, &req(1)).unwrap();
+        assert_eq!(color, Color::Blue);
+
+        let d = r.dequeue(QueueId::Staging).unwrap().unwrap();
+        r.enqueue(QueueId::Submission, d.slot, &d.req).unwrap();
+
+        let d = r.dequeue(QueueId::Submission).unwrap().unwrap();
+        assert_eq!(d.req.id, 1);
+        r.enqueue(QueueId::CompletionOk, d.slot, &d.req).unwrap();
+
+        let d = r.dequeue(QueueId::CompletionOk).unwrap().unwrap();
+        assert_eq!(d.req.id, 1);
+        r.free_slot(d.slot).unwrap();
+
+        let stats = r.stats();
+        assert_eq!(stats.free, 4);
+        assert_eq!(
+            stats.staging + stats.submission + stats.completion_ok + stats.completion_err,
+            0
+        );
+    }
+
+    #[test]
+    fn capacity_limits() {
+        assert!(matches!(Region::new(0), Err(RegionError::BadCapacity(0))));
+        assert!(Region::new(MAX_SLOTS).is_err());
+        let r = Region::new(2).unwrap();
+        assert_eq!(r.capacity(), 2);
+        let a = r.alloc_slot().unwrap();
+        let _b = r.alloc_slot().unwrap();
+        assert_eq!(r.alloc_slot(), Err(RegionError::Exhausted));
+        r.free_slot(a).unwrap();
+        assert!(r.alloc_slot().is_ok());
+    }
+
+    #[test]
+    fn slot_validation() {
+        let r = Region::new(2).unwrap();
+        assert!(r.validate(0).is_ok());
+        assert!(r.validate(5).is_ok()); // 2 + 4 dummies = 6 slots
+        assert_eq!(r.validate(6), Err(RegionError::InvalidSlot(6)));
+        assert_eq!(r.free_slot(1000), Err(RegionError::InvalidSlot(1000)));
+        assert!(r.enqueue(QueueId::Staging, 999, &req(0)).is_err());
+    }
+
+    #[test]
+    fn queues_are_isolated() {
+        let r = Region::new(4).unwrap();
+        let a = r.alloc_slot().unwrap();
+        let b = r.alloc_slot().unwrap();
+        r.enqueue(QueueId::Staging, a, &req(1)).unwrap();
+        r.enqueue(QueueId::Submission, b, &req(2)).unwrap();
+        assert!(r.dequeue(QueueId::CompletionOk).unwrap().is_none());
+        assert_eq!(r.dequeue(QueueId::Submission).unwrap().unwrap().req.id, 2);
+        assert_eq!(r.dequeue(QueueId::Staging).unwrap().unwrap().req.id, 1);
+    }
+
+    #[test]
+    fn staging_color_protocol() {
+        let r = Region::new(4).unwrap();
+        assert_eq!(r.color(QueueId::Staging), Color::Blue);
+        let s = r.alloc_slot().unwrap();
+        assert_eq!(
+            r.enqueue(QueueId::Staging, s, &req(1)).unwrap(),
+            Color::Blue
+        );
+        assert!(r.set_color(QueueId::Staging, Color::Red).is_err());
+        let d = r.dequeue(QueueId::Staging).unwrap().unwrap();
+        assert_eq!(r.set_color(QueueId::Staging, Color::Red), Ok(Color::Blue));
+        assert_eq!(
+            r.enqueue(QueueId::Staging, d.slot, &req(2)).unwrap(),
+            Color::Red
+        );
+        assert_eq!(r.color(QueueId::Staging), Color::Red);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let r = Region::new(2).unwrap();
+        assert!(!format!("{r:?}").is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Slots of the shared region: one link word plus a request payload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::link::{AtomicLink, Color, Link, NULL_INDEX};
+use crate::movreq::{MovReq, PAYLOAD_WORDS};
+
+/// One entry of the shared `mov_req` array (paper Figure 3).
+///
+/// The payload is stored as individual atomic words rather than an
+/// `UnsafeCell<MovReq>`: the ownership protocol of the queues guarantees
+/// that meaningful reads never race with writes (writes only happen to
+/// slots outside any queue), but speculative readers inside a CAS retry
+/// loop may observe a slot that has since been recycled. Making every
+/// payload access atomic keeps those benign stale reads well-defined
+/// without any `unsafe`, at the cost of eight relaxed loads per dequeue.
+#[derive(Debug)]
+pub struct Slot {
+    pub(crate) link: AtomicLink,
+    payload: [AtomicU64; PAYLOAD_WORDS],
+}
+
+impl Slot {
+    /// A fresh slot with a NULL link.
+    pub(crate) fn new() -> Self {
+        Slot {
+            link: AtomicLink::new(Link::null(0, Color::Blue)),
+            payload: Default::default(),
+        }
+    }
+
+    /// Writes `req` into the payload words.
+    ///
+    /// Must only be called while the caller exclusively owns the slot;
+    /// publication happens-before readers via the subsequent link CAS.
+    pub(crate) fn write_payload(&self, req: &MovReq) {
+        for (cell, word) in self.payload.iter().zip(req.to_words()) {
+            cell.store(word, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the payload words back into a request.
+    ///
+    /// May legitimately return garbage when called speculatively on a slot
+    /// that has been recycled; callers discard the value unless their
+    /// subsequent head CAS succeeds.
+    pub(crate) fn read_payload(&self) -> MovReq {
+        let mut words = [0u64; PAYLOAD_WORDS];
+        for (word, cell) in words.iter_mut().zip(&self.payload) {
+            *word = cell.load(Ordering::Relaxed);
+        }
+        MovReq::from_words(&words)
+    }
+
+    /// Current link snapshot (for diagnostics and tests).
+    #[must_use]
+    pub fn link(&self) -> Link {
+        self.link.load()
+    }
+
+    /// True if the slot currently terminates a list.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.link.load().index == NULL_INDEX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movreq::MoveKind;
+
+    #[test]
+    fn payload_roundtrip() {
+        let slot = Slot::new();
+        let req = MovReq {
+            id: 7,
+            kind: MoveKind::Migrate,
+            src_base: 4096,
+            nr_pages: 3,
+            page_shift: 12,
+            ..MovReq::default()
+        };
+        slot.write_payload(&req);
+        assert_eq!(slot.read_payload(), req);
+    }
+
+    #[test]
+    fn fresh_slot_is_terminal() {
+        let slot = Slot::new();
+        assert!(slot.is_terminal());
+        assert_eq!(slot.link().color, Color::Blue);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based model checking of the region against a reference model.
+//!
+//! A sequence of operations is applied both to the lock-free region and to
+//! a trivially-correct sequential model (VecDeques + a color field); every
+//! observable result must agree. This pins down the *sequential*
+//! semantics; the stress tests cover concurrency.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use memif_lockfree::{Color, MovReq, QueueId, Region, SlotIndex};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc,
+    Free(usize),
+    Enqueue(usize, u8, u64),
+    Dequeue(u8),
+    SetColor(bool),
+    ReadColor,
+}
+
+fn queue_id(sel: u8) -> QueueId {
+    match sel % 4 {
+        0 => QueueId::Staging,
+        1 => QueueId::Submission,
+        2 => QueueId::CompletionOk,
+        _ => QueueId::CompletionErr,
+    }
+}
+
+#[derive(Default)]
+struct Model {
+    queues: [VecDeque<u64>; 4],
+    staging_color: Color,
+    free: usize,
+    owned: usize,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Alloc),
+        (0usize..8).prop_map(Op::Free),
+        ((0usize..8), any::<u8>(), any::<u64>()).prop_map(|(s, q, id)| Op::Enqueue(s, q, id)),
+        any::<u8>().prop_map(Op::Dequeue),
+        any::<bool>().prop_map(Op::SetColor),
+        Just(Op::ReadColor),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn region_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let capacity = 6;
+        let region = Region::new(capacity).unwrap();
+        let mut model = Model { free: capacity, ..Model::default() };
+        // Slots we currently own (outside any queue/free list).
+        let mut owned_slots: Vec<SlotIndex> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc => {
+                    let got = region.alloc_slot();
+                    if model.free > 0 {
+                        model.free -= 1;
+                        model.owned += 1;
+                        owned_slots.push(got.expect("model says a slot is free"));
+                    } else {
+                        prop_assert!(got.is_err());
+                    }
+                }
+                Op::Free(i) => {
+                    if !owned_slots.is_empty() {
+                        let slot = owned_slots.remove(i % owned_slots.len());
+                        region.free_slot(slot).unwrap();
+                        model.owned -= 1;
+                        model.free += 1;
+                    }
+                }
+                Op::Enqueue(i, qsel, id) => {
+                    if !owned_slots.is_empty() {
+                        let slot = owned_slots.remove(i % owned_slots.len());
+                        let qid = queue_id(qsel);
+                        let req = MovReq { id, nr_pages: 1, page_shift: 12, ..MovReq::default() };
+                        let color = region.enqueue(qid, slot, &req).unwrap();
+                        if qid == QueueId::Staging {
+                            prop_assert_eq!(color, model.staging_color);
+                        }
+                        model.owned -= 1;
+                        model.queues[qsel as usize % 4].push_back(id);
+                    }
+                }
+                Op::Dequeue(qsel) => {
+                    let qid = queue_id(qsel);
+                    let got = region.dequeue(qid).unwrap();
+                    match model.queues[qsel as usize % 4].pop_front() {
+                        Some(expect_id) => {
+                            let d = got.expect("model says queue non-empty");
+                            prop_assert_eq!(d.req.id, expect_id);
+                            if qid == QueueId::Staging {
+                                prop_assert_eq!(d.color, model.staging_color);
+                            }
+                            model.owned += 1;
+                            owned_slots.push(d.slot);
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+                Op::SetColor(red) => {
+                    let new = if red { Color::Red } else { Color::Blue };
+                    let got = region.set_color(QueueId::Staging, new);
+                    if model.queues[0].is_empty() {
+                        prop_assert_eq!(got, Ok(model.staging_color));
+                        model.staging_color = new;
+                    } else {
+                        prop_assert!(got.is_err());
+                    }
+                }
+                Op::ReadColor => {
+                    prop_assert_eq!(region.color(QueueId::Staging), model.staging_color);
+                }
+            }
+            // Global invariant: slot conservation.
+            let stats = region.stats();
+            let total = stats.free + stats.staging + stats.submission
+                + stats.completion_ok + stats.completion_err + owned_slots.len();
+            prop_assert_eq!(total, capacity);
+            prop_assert_eq!(stats.free, model.free);
+        }
+    }
+}

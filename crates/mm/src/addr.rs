@@ -1,0 +1,154 @@
+//! Virtual addresses and page geometry.
+
+use std::fmt;
+
+/// A virtual byte address in an application's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Constructs an address.
+    #[must_use]
+    pub const fn new(addr: u64) -> Self {
+        VirtAddr(addr)
+    }
+
+    /// Raw value.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Rounds down to a `size` page boundary.
+    #[must_use]
+    pub fn align_down(self, size: PageSize) -> Self {
+        VirtAddr(self.0 & !(size.bytes() - 1))
+    }
+
+    /// True if aligned to a `size` page boundary.
+    #[must_use]
+    pub fn is_aligned(self, size: PageSize) -> bool {
+        self.0 & (size.bytes() - 1) == 0
+    }
+
+    /// 4 KiB-granule virtual page number.
+    #[must_use]
+    pub const fn vpn(self) -> u64 {
+        self.0 >> 12
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The page sizes the evaluation sweeps over (Figure 6/8: small, medium,
+/// large).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PageSize {
+    /// 4 KiB — the platform default and only size mature on the paper's
+    /// ARM test platform (§6.2).
+    #[default]
+    Small4K,
+    /// 64 KiB — "medium" pages, mapped as a contiguous run of 4 KiB
+    /// granules with a single representative entry.
+    Medium64K,
+    /// 2 MiB — "large" pages, mapped as one level-2 block entry.
+    Large2M,
+}
+
+impl PageSize {
+    /// All sizes, small to large.
+    pub const ALL: [PageSize; 3] = [PageSize::Small4K, PageSize::Medium64K, PageSize::Large2M];
+
+    /// Page size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// log2 of the page size.
+    #[must_use]
+    pub const fn shift(self) -> u8 {
+        match self {
+            PageSize::Small4K => 12,
+            PageSize::Medium64K => 16,
+            PageSize::Large2M => 21,
+        }
+    }
+
+    /// Buddy-allocator order (in 4 KiB granules).
+    #[must_use]
+    pub const fn order(self) -> u8 {
+        self.shift() - 12
+    }
+
+    /// Size from a log2 shift.
+    #[must_use]
+    pub fn from_shift(shift: u8) -> Option<Self> {
+        match shift {
+            12 => Some(PageSize::Small4K),
+            16 => Some(PageSize::Medium64K),
+            21 => Some(PageSize::Large2M),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small4K => f.write_str("4KB"),
+            PageSize::Medium64K => f.write_str("64KB"),
+            PageSize::Large2M => f.write_str("2MB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(PageSize::Small4K.bytes(), 4096);
+        assert_eq!(PageSize::Medium64K.bytes(), 65_536);
+        assert_eq!(PageSize::Large2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Small4K.order(), 0);
+        assert_eq!(PageSize::Medium64K.order(), 4);
+        assert_eq!(PageSize::Large2M.order(), 9);
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for size in PageSize::ALL {
+            assert_eq!(PageSize::from_shift(size.shift()), Some(size));
+        }
+        assert_eq!(PageSize::from_shift(13), None);
+    }
+
+    #[test]
+    fn alignment() {
+        let a = VirtAddr::new(0x2_1234);
+        assert_eq!(a.align_down(PageSize::Small4K).as_u64(), 0x2_1000);
+        assert_eq!(a.align_down(PageSize::Medium64K).as_u64(), 0x2_0000);
+        assert_eq!(a.align_down(PageSize::Large2M).as_u64(), 0);
+        assert!(VirtAddr::new(0x40_0000).is_aligned(PageSize::Large2M));
+        assert!(!a.is_aligned(PageSize::Small4K));
+        assert_eq!(a.vpn(), 0x21);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtAddr::new(0xFF).to_string(), "0xff");
+        assert_eq!(PageSize::Large2M.to_string(), "2MB");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the memory-management substrate: the buddy
+//! allocator and the page table are checked against trivially-correct
+//! reference models under random operation sequences.
+
+use std::collections::{BTreeMap, HashMap};
+
+use memif_hwsim::{NodeId, PhysAddr, Topology};
+use memif_mm::{FrameAllocator, PageSize, PageTable, Pte, VirtAddr};
+use proptest::prelude::*;
+
+fn booted() -> Topology {
+    let mut t = Topology::keystone_ii();
+    t.complete_boot();
+    t
+}
+
+fn size_strategy() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        Just(PageSize::Small4K),
+        Just(PageSize::Medium64K),
+        Just(PageSize::Large2M),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(PageSize),
+    FreeNth(usize),
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        size_strategy().prop_map(AllocOp::Alloc),
+        (0usize..64).prop_map(AllocOp::FreeNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The buddy allocator never double-allocates, never leaks, returns
+    /// naturally aligned blocks inside the node's range, and conserves
+    /// free bytes exactly.
+    #[test]
+    fn buddy_allocator_invariants(ops in proptest::collection::vec(alloc_op(), 1..120)) {
+        let topo = booted();
+        let mut alloc = FrameAllocator::new(&topo);
+        let node = NodeId(1); // 6 MiB SRAM: small enough to exhaust
+        let total = alloc.free_bytes(node);
+        let mut live: Vec<(PhysAddr, PageSize)> = Vec::new();
+        let mut live_bytes = 0u64;
+
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    match alloc.alloc(node, size) {
+                        Ok(addr) => {
+                            // Natural alignment and containment.
+                            prop_assert_eq!(addr.as_u64() % size.bytes(), 0);
+                            let bank = topo.node(node).unwrap();
+                            prop_assert!(bank.contains(addr));
+                            prop_assert!(bank.contains(addr.offset(size.bytes() - 1)));
+                            // No overlap with any live block.
+                            for (other, osize) in &live {
+                                let disjoint = addr.as_u64() + size.bytes()
+                                    <= other.as_u64()
+                                    || other.as_u64() + osize.bytes() <= addr.as_u64();
+                                prop_assert!(disjoint, "overlap: {addr} vs {other}");
+                            }
+                            live.push((addr, size));
+                            live_bytes += size.bytes();
+                        }
+                        Err(_) => {
+                            // Exhaustion is only legal if a max-order
+                            // block genuinely cannot fit.
+                            prop_assert!(
+                                alloc.free_bytes(node) < total,
+                                "spurious OOM with an empty node"
+                            );
+                        }
+                    }
+                }
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (addr, size) = live.remove(i % live.len());
+                        alloc.free(addr).unwrap();
+                        live_bytes -= size.bytes();
+                    }
+                }
+            }
+            prop_assert_eq!(alloc.free_bytes(node), total - live_bytes);
+            prop_assert_eq!(alloc.live_frames(), live.len());
+        }
+
+        // Drain and confirm full restoration (coalescing works).
+        for (addr, _) in live {
+            alloc.free(addr).unwrap();
+        }
+        prop_assert_eq!(alloc.free_bytes(node), total);
+        let mut blocks = 0;
+        while alloc.alloc(node, PageSize::Large2M).is_ok() {
+            blocks += 1;
+        }
+        prop_assert_eq!(blocks, 3, "6 MiB coalesces back into 3 x 2 MiB");
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Map(u8, PageSize, u32),
+    Unmap(u8),
+    Replace(u8, u32),
+    Cas(u8, u32),
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (any::<u8>(), size_strategy(), 0u32..1024).prop_map(|(s, z, f)| TableOp::Map(s, z, f)),
+        any::<u8>().prop_map(TableOp::Unmap),
+        (any::<u8>(), 0u32..1024).prop_map(|(s, f)| TableOp::Replace(s, f)),
+        (any::<u8>(), 0u32..1024).prop_map(|(s, f)| TableOp::Cas(s, f)),
+    ]
+}
+
+/// Slot index → (vaddr, size). Slots are spread 2 MiB apart so any page
+/// size fits without overlap; sizes are fixed per slot by the first map.
+fn slot_vaddr(slot: u8) -> VirtAddr {
+    VirtAddr::new(0x8000_0000 + u64::from(slot) * (2 << 20))
+}
+
+fn frame_addr(f: u32, size: PageSize) -> PhysAddr {
+    PhysAddr::new(0x8_0000_0000 + u64::from(f) * size.bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The page table agrees with a map-based reference model under
+    /// random map/unmap/replace/CAS sequences, and `mapped_entries`
+    /// stays exact.
+    #[test]
+    fn page_table_matches_model(ops in proptest::collection::vec(table_op(), 1..150)) {
+        let mut table = PageTable::new();
+        let mut model: BTreeMap<u8, Pte> = BTreeMap::new();
+        let mut sizes: HashMap<u8, PageSize> = HashMap::new();
+
+        for op in ops {
+            match op {
+                TableOp::Map(slot, size, frame) => {
+                    let size = *sizes.entry(slot).or_insert(size);
+                    let pte = Pte::mapping(frame_addr(frame, size), size);
+                    table.map(slot_vaddr(slot), pte).unwrap();
+                    model.insert(slot, pte);
+                }
+                TableOp::Unmap(slot) => {
+                    let Some(&size) = sizes.get(&slot) else { continue };
+                    let got = table.unmap(slot_vaddr(slot), size);
+                    prop_assert_eq!(got, model.remove(&slot));
+                }
+                TableOp::Replace(slot, frame) => {
+                    let Some(&size) = sizes.get(&slot) else { continue };
+                    let pte = Pte::mapping(frame_addr(frame, size), size);
+                    let old = table.replace(slot_vaddr(slot), pte).unwrap();
+                    prop_assert_eq!(old, model.insert(slot, pte).unwrap_or(Pte::EMPTY));
+                }
+                TableOp::Cas(slot, frame) => {
+                    let Some(&size) = sizes.get(&slot) else { continue };
+                    let current = model.get(&slot).copied().unwrap_or(Pte::EMPTY);
+                    let new = Pte::mapping(frame_addr(frame, size), size).with_young(false);
+                    // Expected-correct CAS must succeed...
+                    table.compare_exchange(slot_vaddr(slot), current, new).unwrap();
+                    model.insert(slot, new);
+                    // ...and a stale CAS must fail and report the truth.
+                    if current != new {
+                        let err = table
+                            .compare_exchange(slot_vaddr(slot), current, new)
+                            .unwrap_err();
+                        prop_assert_eq!(err, new);
+                    }
+                }
+            }
+            // Model agreement on every slot ever touched.
+            for (&slot, &size) in &sizes {
+                let got = table.peek(slot_vaddr(slot), size);
+                prop_assert_eq!(got, model.get(&slot).copied());
+            }
+            prop_assert_eq!(table.mapped_entries(), model.len());
+        }
+    }
+
+    /// Gang lookup returns exactly the same entries as per-page lookup;
+    /// only the walk statistics differ, and they account every page.
+    #[test]
+    fn gang_and_per_page_agree(present in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let mut table = PageTable::new();
+        let base = VirtAddr::new(0x10_0000);
+        for (i, p) in present.iter().enumerate() {
+            if *p {
+                let frame = PhysAddr::new(0x8_0000_0000 + i as u64 * 4096);
+                table.map(base.offset(i as u64 * 4096), Pte::mapping(frame, PageSize::Small4K)).unwrap();
+            }
+        }
+        let n = present.len() as u32;
+        let (gang, gs) = table.lookup_range(base, n, PageSize::Small4K, true);
+        let (per, ps) = table.lookup_range(base, n, PageSize::Small4K, false);
+        prop_assert_eq!(&gang, &per);
+        prop_assert_eq!(gs.vertical + gs.horizontal, n, "every page walked");
+        prop_assert_eq!(ps.vertical, n, "per-page is all vertical");
+        prop_assert!(gs.vertical <= ps.vertical);
+        for (i, p) in present.iter().enumerate() {
+            prop_assert_eq!(gang[i].is_some(), *p);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Compute-kernel profiles: how a streaming workload consumes memory.
+//!
+//! The mini runtime is agnostic of what the compute function does; it
+//! only needs the kernel's *memory shape*: how many bytes it reads and
+//! writes per input byte, how much pure compute it burns, and how
+//! efficiently its access pattern streams from the fast memory. The
+//! three kernels of Table 4 are provided by `memif-workloads`.
+
+/// The memory/compute shape of a streaming kernel.
+///
+/// All rates are aggregate over the evaluation platform's four cores.
+/// An "input byte" is a byte of the prefetchable input stream (the data
+/// the runtime moves through its buffers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name (reporting).
+    pub name: String,
+    /// Bytes read per input byte (≥ 1.0: the input itself is read).
+    pub read_bytes_per_input: f64,
+    /// Bytes written per input byte (outputs stay in slow memory).
+    pub write_bytes_per_input: f64,
+    /// Pure compute time per input byte, in nanoseconds (aggregate over
+    /// four cores); additive with memory time on the in-order A15s.
+    pub compute_ns_per_input: f64,
+    /// Fraction of the fast node's CPU streaming bandwidth this kernel's
+    /// access pattern achieves (1.0 = perfectly sequential).
+    pub fast_efficiency: f64,
+}
+
+impl KernelProfile {
+    /// Total memory traffic per input byte (the rate STREAM-style
+    /// benchmarks report).
+    #[must_use]
+    pub fn traffic_per_input(&self) -> f64 {
+        self.read_bytes_per_input + self.write_bytes_per_input
+    }
+
+    /// A pure pass-through reader: 1 byte read per input byte, no
+    /// writes, no compute. Useful in tests.
+    #[must_use]
+    pub fn reader(name: &str) -> Self {
+        KernelProfile {
+            name: name.to_owned(),
+            read_bytes_per_input: 1.0,
+            write_bytes_per_input: 0.0,
+            compute_ns_per_input: 0.0,
+            fast_efficiency: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounts_reads_and_writes() {
+        let mut k = KernelProfile::reader("r");
+        assert!((k.traffic_per_input() - 1.0).abs() < 1e-12);
+        k.write_bytes_per_input = 0.5;
+        assert!((k.traffic_per_input() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Tests of the automatic fast-memory swap-out manager ([`FastPool`]).
+
+use memif::{Memif, MemifConfig, NodeId, PageSize, Sim, SpaceId, System};
+use memif_runtime::{FastPool, PoolRegion};
+
+const REGION_PAGES: u32 = 256; // 1 MiB per region; SRAM holds 6 MiB
+
+struct Setup {
+    sys: System,
+    sim: Sim<System>,
+    space: SpaceId,
+    pool: FastPool,
+    regions: Vec<PoolRegion>,
+}
+
+fn setup(n_regions: usize, headroom: u64) -> Setup {
+    let mut sys = System::keystone_ii();
+    let sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+    let pool = FastPool::new(&sys, memif, headroom);
+    let regions = (0..n_regions)
+        .map(|i| {
+            let vaddr = sys
+                .mmap(space, REGION_PAGES, PageSize::Small4K, NodeId(0))
+                .unwrap();
+            let data = vec![i as u8 + 1; (REGION_PAGES as usize) * 4096];
+            sys.write_user(space, vaddr, &data).unwrap();
+            PoolRegion {
+                space,
+                vaddr,
+                pages: REGION_PAGES,
+                page_size: PageSize::Small4K,
+            }
+        })
+        .collect();
+    Setup {
+        sys,
+        sim,
+        space,
+        pool,
+        regions,
+    }
+}
+
+fn node_of(s: &Setup, r: &PoolRegion) -> NodeId {
+    s.sys
+        .node_of(s.sys.space(r.space).translate(r.vaddr).unwrap())
+        .unwrap()
+}
+
+#[test]
+fn promotions_within_capacity_just_migrate() {
+    let mut s = setup(3, 0);
+    for r in s.regions.clone() {
+        s.pool.promote(&mut s.sys, &mut s.sim, r);
+    }
+    s.sim.run(&mut s.sys);
+    assert!(s.pool.is_quiescent());
+    for r in &s.regions {
+        assert!(s.pool.is_resident(r));
+        assert_eq!(node_of(&s, r), NodeId(1));
+    }
+    let stats = s.pool.stats();
+    assert_eq!(stats.promotions, 3);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(s.pool.resident_bytes(), 3 << 20);
+}
+
+#[test]
+fn overcommit_evicts_lru() {
+    // 8 x 1 MiB promotions through a 6 MiB bank (minus 1 MiB headroom):
+    // the oldest promotions get swapped back out automatically.
+    let mut s = setup(8, 1 << 20);
+    for r in s.regions.clone() {
+        s.pool.promote(&mut s.sys, &mut s.sim, r);
+        s.sim.run(&mut s.sys);
+    }
+    assert!(s.pool.is_quiescent());
+    let stats = s.pool.stats();
+    assert_eq!(stats.promotions, 8, "every promotion eventually landed");
+    assert!(
+        stats.evictions >= 3,
+        "early residents were swapped out: {stats:?}"
+    );
+
+    // The most recent regions are in fast memory; the earliest are back
+    // in slow — and all data survived the round trips.
+    assert!(s.pool.is_resident(&s.regions[7]));
+    assert!(!s.pool.is_resident(&s.regions[0]));
+    assert_eq!(node_of(&s, &s.regions[7]), NodeId(1));
+    assert_eq!(node_of(&s, &s.regions[0]), NodeId(0));
+    for (i, r) in s.regions.iter().enumerate() {
+        let mut buf = vec![0u8; 4096];
+        s.sys.read_user(s.space, r.vaddr, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == i as u8 + 1),
+            "region {i} data intact"
+        );
+    }
+    // Headroom respected.
+    assert!(s.sys.alloc.free_bytes(NodeId(1)) >= 1 << 20);
+}
+
+#[test]
+fn touch_changes_the_victim() {
+    let mut s = setup(6, 1 << 20);
+    // Fill the pool with regions 0..5 (5 MiB fits under 6 - 1 headroom).
+    for r in s.regions[..5].iter().copied() {
+        s.pool.promote(&mut s.sys, &mut s.sim, r);
+        s.sim.run(&mut s.sys);
+    }
+    // Region 0 is LRU; touching it makes region 1 the victim instead.
+    s.pool.touch(s.regions[0]);
+    s.pool.promote(&mut s.sys, &mut s.sim, s.regions[5]);
+    s.sim.run(&mut s.sys);
+    assert!(s.pool.is_quiescent());
+    assert!(s.pool.is_resident(&s.regions[0]), "touched region survived");
+    assert!(
+        !s.pool.is_resident(&s.regions[1]),
+        "untouched LRU was evicted"
+    );
+    assert!(s.pool.is_resident(&s.regions[5]));
+}
+
+#[test]
+fn impossible_promotion_is_dropped_not_deadlocked() {
+    let mut s = setup(1, 0);
+    // A region larger than the whole fast bank can never fit.
+    let huge_va = s
+        .sys
+        .mmap(s.space, 2_000, PageSize::Small4K, NodeId(0))
+        .unwrap();
+    let huge = PoolRegion {
+        space: s.space,
+        vaddr: huge_va,
+        pages: 2_000,
+        page_size: PageSize::Small4K,
+    };
+    s.pool.promote(&mut s.sys, &mut s.sim, huge);
+    s.sim.run(&mut s.sys);
+    assert!(s.pool.is_quiescent(), "no deadlock");
+    assert!(!s.pool.is_resident(&huge));
+    // The pool still works afterwards.
+    s.pool.promote(&mut s.sys, &mut s.sim, s.regions[0]);
+    s.sim.run(&mut s.sys);
+    assert!(s.pool.is_resident(&s.regions[0]));
+}
+
+#[test]
+fn repeated_promotion_is_idempotent() {
+    let mut s = setup(2, 0);
+    for _ in 0..3 {
+        s.pool.promote(&mut s.sys, &mut s.sim, s.regions[0]);
+        s.sim.run(&mut s.sys);
+    }
+    let stats = s.pool.stats();
+    assert_eq!(
+        stats.promotions, 1,
+        "re-promoting a resident region is a touch"
+    );
+    assert_eq!(s.pool.resident_bytes(), 1 << 20);
+}
+
+#[test]
+fn working_set_rotation_thrashes_gracefully() {
+    // Rotate through 8 regions twice with a 5 MiB effective pool: the
+    // pool keeps serving, evicting as needed, and every region's data
+    // survives the churn.
+    let mut s = setup(8, 1 << 20);
+    for round in 0..2 {
+        for r in s.regions.clone() {
+            s.pool.promote(&mut s.sys, &mut s.sim, r);
+            s.sim.run(&mut s.sys);
+        }
+        let _ = round;
+    }
+    assert!(s.pool.is_quiescent());
+    let stats = s.pool.stats();
+    assert!(
+        stats.promotions >= 13,
+        "second round re-promotes evicted regions: {stats:?}"
+    );
+    for (i, r) in s.regions.iter().enumerate() {
+        let mut buf = vec![0u8; 64];
+        s.sys.read_user(s.space, r.vaddr, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == i as u8 + 1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Move-request stream generators for the evaluation harnesses.
+//!
+//! Figures 6–8 sweep requests over page sizes and pages-per-request;
+//! stress tests additionally want randomized mixes. A generator emits
+//! abstract [`RequestShape`]s; the harness materializes them against
+//! regions it has mapped.
+
+use memif_mm::PageSize;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Kind of move, abstractly (mirrors `memif::MoveKind` without a
+/// dependency on the core crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeKind {
+    /// Replication (asynchronous memcpy).
+    Replicate,
+    /// Migration to another node.
+    Migrate,
+}
+
+/// One abstract request: its shape, not its addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestShape {
+    /// Replication or migration.
+    pub kind: ShapeKind,
+    /// Pages covered.
+    pub pages: u32,
+    /// Page granularity.
+    pub page_size: PageSize,
+}
+
+impl RequestShape {
+    /// Bytes covered by the request.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.pages) * self.page_size.bytes()
+    }
+}
+
+/// The pages-per-request sweep used by the figures: powers of two.
+#[must_use]
+pub fn pow2_sweep(max: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut n = 1;
+    while n <= max {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+/// A uniform stream of identical requests (the Figure 7/8 pattern).
+#[must_use]
+pub fn uniform_stream(shape: RequestShape, count: usize) -> Vec<RequestShape> {
+    vec![shape; count]
+}
+
+/// A randomized mix of request shapes, for stress testing. Page counts
+/// are log-uniform in `[1, max_pages]`; kinds split per `migrate_frac`.
+#[must_use]
+pub fn random_mix(
+    seed: u64,
+    count: usize,
+    max_pages: u32,
+    page_size: PageSize,
+    migrate_frac: f64,
+) -> Vec<RequestShape> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_log = (max_pages as f64).log2();
+    (0..count)
+        .map(|_| {
+            let pages = 2f64.powf(rng.random_range(0.0..=max_log)).round() as u32;
+            let kind = if rng.random_bool(migrate_frac.clamp(0.0, 1.0)) {
+                ShapeKind::Migrate
+            } else {
+                ShapeKind::Replicate
+            };
+            RequestShape {
+                kind,
+                pages: pages.clamp(1, max_pages),
+                page_size,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(pow2_sweep(64), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(pow2_sweep(1), vec![1]);
+        assert_eq!(pow2_sweep(100), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn uniform_stream_repeats() {
+        let shape = RequestShape {
+            kind: ShapeKind::Migrate,
+            pages: 16,
+            page_size: PageSize::Small4K,
+        };
+        let s = uniform_stream(shape, 8);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|r| *r == shape));
+        assert_eq!(shape.bytes(), 16 * 4096);
+    }
+
+    #[test]
+    fn random_mix_is_seeded_and_bounded() {
+        let a = random_mix(7, 100, 64, PageSize::Small4K, 0.5);
+        let b = random_mix(7, 100, 64, PageSize::Small4K, 0.5);
+        assert_eq!(a, b, "deterministic for a given seed");
+        assert!(a.iter().all(|r| (1..=64).contains(&r.pages)));
+        assert!(a.iter().any(|r| r.kind == ShapeKind::Migrate));
+        assert!(a.iter().any(|r| r.kind == ShapeKind::Replicate));
+        let c = random_mix(8, 100, 64, PageSize::Small4K, 0.5);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn migrate_frac_extremes() {
+        assert!(random_mix(1, 50, 8, PageSize::Small4K, 0.0)
+            .iter()
+            .all(|r| r.kind == ShapeKind::Replicate));
+        assert!(random_mix(1, 50, 8, PageSize::Small4K, 1.0)
+            .iter()
+            .all(|r| r.kind == ShapeKind::Migrate));
+    }
+}

@@ -1,0 +1,146 @@
+//! Data-level implementations of the ported kernels.
+//!
+//! The [`profiles`](crate::profiles) module models each kernel's *time*;
+//! this module implements what they *compute*, over little-endian `f64`
+//! arrays in raw byte buffers — the representation data has after a DMA
+//! replication out of simulated physical memory. Tests use these to
+//! verify that moving data through memif (prefetch buffers, migrations,
+//! writebacks) preserves numerical results bit-for-bit.
+
+/// Reads an `f64` array view over a byte slice.
+///
+/// # Panics
+///
+/// Panics if the slice length is not a multiple of 8.
+#[must_use]
+pub fn as_f64_vec(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "not an f64 array");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Writes an `f64` slice into a byte buffer.
+///
+/// # Panics
+///
+/// Panics if `out` is not exactly `8 * values.len()` bytes.
+pub fn write_f64(out: &mut [u8], values: &[f64]) {
+    assert_eq!(out.len(), values.len() * 8, "size mismatch");
+    for (chunk, v) in out.chunks_exact_mut(8).zip(values) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// `STREAM.add`: `a[i] = b[i] + c[i]` over raw byte arrays.
+///
+/// # Panics
+///
+/// Panics on length mismatches or non-`f64`-sized inputs.
+#[must_use]
+pub fn stream_add(b: &[u8], c: &[u8]) -> Vec<u8> {
+    let (b, c) = (as_f64_vec(b), as_f64_vec(c));
+    assert_eq!(b.len(), c.len());
+    let mut out = vec![0u8; b.len() * 8];
+    let a: Vec<f64> = b.iter().zip(&c).map(|(x, y)| x + y).collect();
+    write_f64(&mut out, &a);
+    out
+}
+
+/// `STREAM.triad`: `a[i] = b[i] + s · c[i]` over raw byte arrays.
+///
+/// # Panics
+///
+/// Panics on length mismatches or non-`f64`-sized inputs.
+#[must_use]
+pub fn stream_triad(b: &[u8], c: &[u8], scalar: f64) -> Vec<u8> {
+    let (b, c) = (as_f64_vec(b), as_f64_vec(c));
+    assert_eq!(b.len(), c.len());
+    let mut out = vec![0u8; b.len() * 8];
+    let a: Vec<f64> = b.iter().zip(&c).map(|(x, y)| x + scalar * y).collect();
+    write_f64(&mut out, &a);
+    out
+}
+
+/// `StreamCluster.pgain` (the kernel's arithmetic core): given a stream
+/// of points and a candidate center, computes the total cost *gain* of
+/// opening the candidate — the sum over points of
+/// `max(0, d(point, assigned) − d(point, candidate))`.
+///
+/// Points are packed as `dim` consecutive `f64`s each, followed by one
+/// `f64` holding the point's current assignment cost (its distance to
+/// its present center) — `dim + 1` values per point.
+///
+/// # Panics
+///
+/// Panics if `candidate.len() != dim` or the byte stream is not a whole
+/// number of points.
+#[must_use]
+pub fn pgain(points: &[u8], candidate: &[f64], dim: usize) -> f64 {
+    assert_eq!(candidate.len(), dim);
+    let values = as_f64_vec(points);
+    let stride = dim + 1;
+    assert!(values.len().is_multiple_of(stride), "torn point stream");
+    let mut gain = 0.0;
+    for p in values.chunks_exact(stride) {
+        let coords = &p[..dim];
+        let assigned_cost = p[dim];
+        let d2: f64 = coords
+            .iter()
+            .zip(candidate)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let to_candidate = d2.sqrt();
+        gain += (assigned_cost - to_candidate).max(0.0);
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(values: &[f64]) -> Vec<u8> {
+        let mut out = vec![0u8; values.len() * 8];
+        write_f64(&mut out, values);
+        out
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = [1.5, -2.25, f64::MAX, 0.0];
+        assert_eq!(as_f64_vec(&bytes_of(&v)), v);
+    }
+
+    #[test]
+    fn add_and_triad() {
+        let b = bytes_of(&[1.0, 2.0, 3.0]);
+        let c = bytes_of(&[10.0, 20.0, 30.0]);
+        assert_eq!(as_f64_vec(&stream_add(&b, &c)), vec![11.0, 22.0, 33.0]);
+        assert_eq!(
+            as_f64_vec(&stream_triad(&b, &c, 3.0)),
+            vec![31.0, 62.0, 93.0]
+        );
+    }
+
+    #[test]
+    fn pgain_counts_only_improvements() {
+        // Two 2-D points: one close to the candidate (improves), one far
+        // (no improvement, clamped to zero).
+        let points = bytes_of(&[
+            0.0, 0.0, 5.0, // at origin, currently costing 5.0
+            9.0, 0.0, 1.0, // far away, currently costing 1.0
+        ]);
+        let g = pgain(&points, &[0.0, 0.0], 2);
+        // First point: 5.0 - 0.0 = 5.0 gain; second: 1.0 - 9.0 < 0 -> 0.
+        assert!((g - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "torn point stream")]
+    fn pgain_rejects_torn_streams() {
+        let points = bytes_of(&[1.0, 2.0]);
+        let _ = pgain(&points, &[0.0, 0.0], 2);
+    }
+}

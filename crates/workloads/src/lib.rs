@@ -1,0 +1,19 @@
+//! Evaluation workloads for the memif reproduction.
+//!
+//! * [`profiles`] — the Table 4 streaming kernels (STREAM add/triad,
+//!   StreamCluster pgain) as [`memif_runtime::KernelProfile`]s;
+//! * [`kernels`] — data-level implementations of the same kernels (real
+//!   `f64` arithmetic over byte buffers) for numerical validation of the
+//!   move paths;
+//! * [`generator`] — move-request stream generators for the Figure 6–8
+//!   sweeps and randomized stress tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod kernels;
+pub mod profiles;
+
+pub use generator::{pow2_sweep, random_mix, uniform_stream, RequestShape, ShapeKind};
+pub use profiles::{stream_add, stream_triad, streamcluster_pgain, table4_kernels, wordcount_like};

@@ -1,0 +1,25 @@
+//! Umbrella crate for the memif reproduction workspace.
+//!
+//! This package exists to host the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). The substance lives in
+//! the member crates:
+//!
+//! * [`memif`] — the asynchronous memory-move service itself;
+//! * [`memif_lockfree`] — the shared lock-free interface structures;
+//! * [`memif_hwsim`] — the simulated KeyStone II (DES, DMA engine,
+//!   heterogeneous memory, cost model);
+//! * [`memif_mm`] — the virtual-memory substrate;
+//! * [`memif_baseline`] — the Linux page-migration comparator;
+//! * [`memif_runtime`] — the §6.6 mini streaming runtime;
+//! * [`memif_workloads`] — evaluation kernels and request generators.
+//!
+//! See `README.md` for the tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use memif;
+pub use memif_baseline;
+pub use memif_hwsim;
+pub use memif_lockfree;
+pub use memif_mm;
+pub use memif_runtime;
+pub use memif_workloads;

@@ -1,0 +1,132 @@
+//! Property-based equivalence: random request mixes through memif leave
+//! memory in exactly the state a trivially-correct reference (plain
+//! `Vec<u8>` copies) predicts — and the Linux baseline agrees with memif
+//! on final state for the same migrations.
+
+use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
+use memif_baseline::{mbind, RegionRequest};
+use memif_hwsim::UsageMeter;
+use proptest::prelude::*;
+
+const REGIONS: usize = 4;
+const PAGES: u32 = 8;
+const REGION_BYTES: usize = (PAGES as usize) * 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Replicate { src: usize, dst: usize },
+    Migrate { region: usize, to_fast: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..REGIONS), (0..REGIONS)).prop_map(|(src, dst)| Op::Replicate { src, dst }),
+        ((0..REGIONS), any::<bool>()).prop_map(|(region, to_fast)| Op::Migrate { region, to_fast }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memif_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+
+        // Reference: plain byte vectors.
+        let mut model: Vec<Vec<u8>> = Vec::new();
+        let mut regions = Vec::new();
+        for r in 0..REGIONS {
+            let va = sys.mmap(space, PAGES, PageSize::Small4K, NodeId(0)).unwrap();
+            let data: Vec<u8> = (0..REGION_BYTES).map(|i| ((i + r * 7) % 251) as u8).collect();
+            sys.write_user(space, va, &data).unwrap();
+            model.push(data);
+            regions.push(va);
+        }
+
+        for op in &ops {
+            match *op {
+                Op::Replicate { src, dst } => {
+                    if src == dst {
+                        continue; // overlapping replication is rejected
+                    }
+                    memif.submit(&mut sys, &mut sim, MoveSpec::replicate(
+                        regions[src], regions[dst], PAGES, PageSize::Small4K,
+                    )).unwrap();
+                    sim.run(&mut sys);
+                    let c = memif.retrieve_completed(&mut sys).unwrap().unwrap();
+                    prop_assert!(c.status.is_ok());
+                    let src_data = model[src].clone();
+                    model[dst] = src_data;
+                }
+                Op::Migrate { region, to_fast } => {
+                    let node = if to_fast { NodeId(1) } else { NodeId(0) };
+                    memif.submit(&mut sys, &mut sim, MoveSpec::migrate(
+                        regions[region], PAGES, PageSize::Small4K, node,
+                    )).unwrap();
+                    sim.run(&mut sys);
+                    let c = memif.retrieve_completed(&mut sys).unwrap().unwrap();
+                    prop_assert!(c.status.is_ok());
+                    // Migration never changes contents.
+                    let pa = sys.space(space).translate(regions[region]).unwrap();
+                    prop_assert_eq!(sys.node_of(pa), Some(node));
+                }
+            }
+            // Full-state check after every op.
+            for (va, expect) in regions.iter().zip(&model) {
+                let mut got = vec![0u8; REGION_BYTES];
+                sys.read_user(space, *va, &mut got).unwrap();
+                prop_assert_eq!(&got, expect);
+            }
+        }
+    }
+
+    /// memif migration and Linux `mbind` reach identical observable
+    /// states (contents + destination node) from identical starts.
+    #[test]
+    fn memif_and_baseline_agree(seed in any::<u8>(), to_fast in any::<bool>()) {
+        let node = if to_fast { NodeId(1) } else { NodeId(0) };
+        let data: Vec<u8> = (0..REGION_BYTES).map(|i| (i as u8).wrapping_add(seed)).collect();
+
+        // memif path.
+        let (memif_bytes, memif_node) = {
+            let mut sys = System::keystone_ii();
+            let mut sim = Sim::new();
+            let space = sys.new_space();
+            let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+            let va = sys.mmap(space, PAGES, PageSize::Small4K, NodeId(0)).unwrap();
+            sys.write_user(space, va, &data).unwrap();
+            memif.submit(&mut sys, &mut sim,
+                MoveSpec::migrate(va, PAGES, PageSize::Small4K, node)).unwrap();
+            sim.run(&mut sys);
+            prop_assert!(memif.retrieve_completed(&mut sys).unwrap().unwrap().status.is_ok());
+            let mut got = vec![0u8; REGION_BYTES];
+            sys.read_user(space, va, &mut got).unwrap();
+            let n = sys.node_of(sys.space(space).translate(va).unwrap()).unwrap();
+            (got, n)
+        };
+
+        // Linux baseline path.
+        let (linux_bytes, linux_node) = {
+            let mut sys = System::keystone_ii();
+            let space = sys.new_space();
+            let va = sys.mmap(space, PAGES, PageSize::Small4K, NodeId(0)).unwrap();
+            sys.write_user(space, va, &data).unwrap();
+            let mut meter = UsageMeter::new();
+            let cost = sys.cost.clone();
+            let (spaces, alloc, phys) = sys.split_for_baseline();
+            let out = mbind(&mut spaces[0], alloc, phys, &cost, &mut meter,
+                &[RegionRequest { start: va, pages: PAGES, page_size: PageSize::Small4K, dst_node: node }]);
+            prop_assert!(out.failed.is_empty());
+            let mut got = vec![0u8; REGION_BYTES];
+            sys.read_user(space, va, &mut got).unwrap();
+            let n = sys.node_of(sys.space(space).translate(va).unwrap()).unwrap();
+            (got, n)
+        };
+
+        prop_assert_eq!(memif_bytes, linux_bytes);
+        prop_assert_eq!(memif_node, linux_node);
+    }
+}
