@@ -197,6 +197,17 @@ pub struct StreamResult {
     pub polled: u64,
     /// CPU usage over the run (fraction of one core).
     pub cpu_usage: f64,
+    /// DMA re-issues after an error, timeout, or descriptor exhaustion
+    /// (nonzero only under fault injection).
+    pub retries: u64,
+    /// Requests served by the degraded CPU-copy path.
+    pub fallbacks: u64,
+    /// Watchdog expiries.
+    pub timeouts: u64,
+    /// DMA error interrupts taken.
+    pub dma_errors: u64,
+    /// Requests that reached a `Failed` terminal status.
+    pub failed: u64,
 }
 
 /// Streams `count` identical memif requests, keeping up to `window`
@@ -219,6 +230,39 @@ pub fn stream_memif(
     count: usize,
     window: usize,
 ) -> StreamResult {
+    stream_memif_with_faults(
+        cost,
+        memif_config,
+        kind,
+        page_size,
+        pages,
+        count,
+        window,
+        None,
+    )
+}
+
+/// [`stream_memif`] with an optional fault plan installed before the
+/// first submission (the E10 chaos workloads). With a plan, failed
+/// completions are tolerated and counted instead of panicking; every
+/// request must still reach a terminal state or the run asserts.
+///
+/// # Panics
+///
+/// Panics if any request fails while no fault plan is installed, or if
+/// any request never completes.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn stream_memif_with_faults(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+    faults: Option<memif::FaultPlan>,
+) -> StreamResult {
     struct State {
         memif: Memif,
         kind: ShapeKind,
@@ -231,12 +275,18 @@ pub fn stream_memif(
         regions: Vec<(memif::VirtAddr, memif::VirtAddr, NodeId)>,
         completion_times: Vec<SimTime>,
         finished_at: Option<SimTime>,
+        chaos: bool,
+        failed: u64,
     }
 
     let mut sys = System::with_profile(bigfast_topology(), cost.clone());
     let mut sim = Sim::new();
     let space = sys.new_space();
     let memif = Memif::open(&mut sys, space, memif_config).unwrap();
+    let chaos = faults.is_some();
+    if let Some(plan) = faults {
+        sys.install_faults(&mut sim, plan);
+    }
 
     let window = window.min(count).max(1);
     let mut regions = Vec::new();
@@ -260,6 +310,8 @@ pub fn stream_memif(
         regions,
         completion_times: vec![SimTime::ZERO; count],
         finished_at: None,
+        chaos,
+        failed: 0,
     }));
 
     fn submit_next(state: &Rc<RefCell<State>>, sys: &mut System, sim: &mut Sim<System>) {
@@ -305,8 +357,15 @@ pub fn stream_memif(
     fn pump(state: Rc<RefCell<State>>, sys: &mut System, sim: &mut Sim<System>) {
         let memif = state.borrow().memif;
         while let Some(c) = memif.retrieve_completed(sys).expect("region healthy") {
-            assert!(c.status.is_ok(), "stream request failed: {:?}", c.status);
             let mut st = state.borrow_mut();
+            if !c.status.is_ok() {
+                assert!(
+                    st.chaos,
+                    "stream request failed without faults: {:?}",
+                    c.status
+                );
+                st.failed += 1;
+            }
             let idx = c.user_data as usize;
             st.completion_times[idx] = sim.now();
             st.completed += 1;
@@ -343,6 +402,11 @@ pub fn stream_memif(
         interrupts: dev.stats.interrupts,
         polled: dev.stats.polled,
         cpu_usage: sys.meter.cpu_busy().as_ns() as f64 / wall.as_ns().max(1) as f64,
+        retries: dev.stats.retries,
+        fallbacks: dev.stats.fallbacks,
+        timeouts: dev.stats.timeouts,
+        dma_errors: dev.stats.dma_errors,
+        failed: st.failed,
     }
 }
 
@@ -424,5 +488,10 @@ pub fn stream_linux(
         interrupts: 0,
         polled: 0,
         cpu_usage: 1.0,
+        retries: 0,
+        fallbacks: 0,
+        timeouts: 0,
+        dma_errors: 0,
+        failed: 0,
     }
 }

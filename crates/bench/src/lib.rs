@@ -11,6 +11,7 @@
 //! | `tab4_streaming`  | Table 4: streaming workloads on the mini runtime |
 //! | `tab3_sloc`       | Table 3 analogue: source-line inventory |
 //! | `ablation`        | A1–A4: descriptor reuse, gang lookup, race mode, poll threshold |
+//! | `e10_degraded`    | E10: throughput under injected DMA faults (degraded mode) |
 //!
 //! Criterion micro-benches (`cargo bench`) cover the real data
 //! structures: the red–blue queue, gang lookup, DMA configuration, and
@@ -26,7 +27,7 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    bigfast_topology, probe_linux_once, probe_memif_once, stream_linux, stream_memif, ProbeResult,
-    StreamResult,
+    bigfast_topology, probe_linux_once, probe_memif_once, stream_linux, stream_memif,
+    stream_memif_with_faults, ProbeResult, StreamResult,
 };
 pub use table::{mbs, results_dir, Table};

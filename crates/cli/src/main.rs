@@ -5,6 +5,9 @@
 //! memifctl migspeed [--pages 1500] [--batches 1] [--page-size 4k] [--profile keystone|xeon]
 //! memifctl move     [--kind migrate|replicate] [--pages 16] [--count 64]
 //!                   [--page-size 4k] [--window 8] [--no-reuse true] [--no-gang true]
+//!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
+//!                   [--delay-rate R] [--desc-exhaust-rate R] [--max-retries N]
+//!                   [--no-fallback true]
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
 //!                   [--input-mib 64]
 //! memifctl timeline [--pages 16] [--count 2]
@@ -15,7 +18,7 @@ mod args;
 use args::Args;
 use memif::{Context, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
 use memif_baseline::{run_migspeed, MigspeedConfig};
-use memif_bench::{stream_memif, Table};
+use memif_bench::{stream_memif_with_faults, Table};
 use memif_hwsim::{CostModel, Topology};
 use memif_runtime::{Placement, StreamConfig, StreamRuntime};
 use memif_workloads::{stream_add, stream_triad, streamcluster_pgain, wordcount_like, ShapeKind};
@@ -54,6 +57,14 @@ commands:
   help       this text
 
 common flags: --profile keystone|xeon, --page-size 4k|64k|2m
+
+chaos mode (move): install a deterministic fault plan and watch the
+hardened driver absorb it, e.g.
+  memifctl move --fault-seed 7 --dma-error-rate 1e-3 --drop-rate 1e-4
+flags: --fault-seed N, --dma-error-rate R, --drop-rate R, --delay-rate R,
+--desc-exhaust-rate R, --max-retries N (default 3), --no-fallback true
+(fail requests instead of degrading to the CPU copy).
+
 run `memifctl <command>` with defaults to see each report.
 ";
 
@@ -151,6 +162,8 @@ fn do_move(args: &Args) -> Result<(), String> {
         descriptor_reuse: !args.get_or("no-reuse", false)?,
         gang_lookup: !args.get_or("no-gang", false)?,
         pipeline_depth: args.get_or("depth", 2usize)?,
+        max_dma_retries: args.get_or("max-retries", 3u32)?,
+        cpu_fallback: !args.get_or("no-fallback", false)?,
         ..MemifConfig::default()
     };
     let pages = args.get_or("pages", 16u32)?;
@@ -158,7 +171,26 @@ fn do_move(args: &Args) -> Result<(), String> {
     let window = args.get_or("window", 8usize)?;
     let page_size = args.page_size(PageSize::Small4K)?;
 
-    let r = stream_memif(&cost, config, kind, page_size, pages, count, window);
+    let plan = memif::FaultPlan {
+        seed: args.get_or("fault-seed", 0u64)?,
+        dma_error_rate: args.get_or("dma-error-rate", 0.0f64)?,
+        drop_rate: args.get_or("drop-rate", 0.0f64)?,
+        delay_rate: args.get_or("delay-rate", 0.0f64)?,
+        desc_exhaust_rate: args.get_or("desc-exhaust-rate", 0.0f64)?,
+        ..memif::FaultPlan::default()
+    };
+    let chaos = !plan.is_noop();
+
+    let r = stream_memif_with_faults(
+        &cost,
+        config,
+        kind,
+        page_size,
+        pages,
+        count,
+        window,
+        chaos.then_some(plan),
+    );
     let mean_us = r
         .completion_times
         .iter()
@@ -174,6 +206,12 @@ fn do_move(args: &Args) -> Result<(), String> {
         "syscalls: {}   interrupts: {}   polled: {}   cpu: {:.2} cores",
         r.ioctls, r.interrupts, r.polled, r.cpu_usage
     );
+    if chaos {
+        println!(
+            "chaos: retries: {}   timeouts: {}   dma-errors: {}   fallbacks: {}   failed: {}",
+            r.retries, r.timeouts, r.dma_errors, r.fallbacks, r.failed
+        );
+    }
     Ok(())
 }
 

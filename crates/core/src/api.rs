@@ -140,6 +140,23 @@ impl CompletionStatus {
     pub fn is_aborted(self) -> bool {
         self.0 == MoveStatus::Aborted
     }
+
+    /// True when the DMA path gave up on the request (retries exhausted,
+    /// no CPU fallback configured).
+    #[must_use]
+    pub fn is_failed(self) -> bool {
+        matches!(self.0, MoveStatus::Failed(_))
+    }
+
+    /// Why the request failed, for [`is_failed`](Self::is_failed)
+    /// completions.
+    #[must_use]
+    pub fn fail_reason(self) -> Option<memif_lockfree::FailReason> {
+        match self.0 {
+            MoveStatus::Failed(reason) => Some(reason),
+            _ => None,
+        }
+    }
 }
 
 /// A handle to an open memif instance (the `memfd` of Figure 2).

@@ -1,5 +1,7 @@
 //! memif instance configuration.
 
+use memif_hwsim::SimDuration;
+
 /// How the driver handles CPU/DMA races during migration (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RaceMode {
@@ -48,6 +50,28 @@ pub struct MemifConfig {
     /// work with DMA time. 1 reproduces strictly serial service
     /// (ablation A5).
     pub pipeline_depth: usize,
+    /// How many times the driver re-issues a request whose DMA path
+    /// failed (engine error, watchdog timeout, descriptor exhaustion
+    /// under chaos) before degrading. Only consulted when a fault plan
+    /// is installed; the fault-free hot path never retries this way.
+    pub max_dma_retries: u32,
+    /// Base backoff before a retry; attempt *k* waits
+    /// `retry_backoff * 2^k`. Also the (fixed) descriptor-exhaustion
+    /// backoff on the fault-free path.
+    pub retry_backoff: SimDuration,
+    /// Watchdog deadline multiplier: a transfer is declared lost after
+    /// `expected_time * watchdog_factor + watchdog_slack`, where the
+    /// expected time comes from the transfer's bytes at the engine's
+    /// demand bandwidth plus the per-descriptor overhead. The watchdog
+    /// is armed only when a fault plan is installed.
+    pub watchdog_factor: u32,
+    /// Constant slack added to every watchdog deadline (absorbs queueing
+    /// behind other tenants' transfers).
+    pub watchdog_slack: SimDuration,
+    /// When DMA retries are exhausted, fall back to a costed CPU copy
+    /// (4 µs/page-class memcpy charged to the kernel thread) instead of
+    /// failing the request. Off = deliver `MoveStatus::Failed`.
+    pub cpu_fallback: bool,
 }
 
 impl Default for MemifConfig {
@@ -59,6 +83,11 @@ impl Default for MemifConfig {
             descriptor_reuse: true,
             poll_threshold_bytes: None,
             pipeline_depth: 2,
+            max_dma_retries: 3,
+            retry_backoff: SimDuration::from_us(20),
+            watchdog_factor: 8,
+            watchdog_slack: SimDuration::from_us(100),
+            cpu_fallback: true,
         }
     }
 }
@@ -76,5 +105,15 @@ mod tests {
         assert_eq!(c.poll_threshold_bytes, None);
         assert!(c.queue_capacity > 0);
         assert_eq!(c.pipeline_depth, 2);
+    }
+
+    #[test]
+    fn hardening_defaults() {
+        let c = MemifConfig::default();
+        assert_eq!(c.max_dma_retries, 3);
+        assert_eq!(c.retry_backoff, SimDuration::from_us(20));
+        assert_eq!(c.watchdog_factor, 8);
+        assert_eq!(c.watchdog_slack, SimDuration::from_us(100));
+        assert!(c.cpu_fallback);
     }
 }

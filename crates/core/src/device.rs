@@ -69,6 +69,15 @@ pub struct DriverStats {
     pub races_detected: u64,
     /// Migrations aborted by the proceed-and-recover fault handler.
     pub aborts: u64,
+    /// Watchdog expiries: transfers declared lost after the deadline.
+    pub timeouts: u64,
+    /// DMA error interrupts taken (mid-flight engine failures).
+    pub dma_errors: u64,
+    /// DMA re-issues after an error, timeout, or chaos exhaustion.
+    pub retries: u64,
+    /// Requests that degraded to the costed CPU-copy path after
+    /// exhausting their DMA retries.
+    pub fallbacks: u64,
     /// Bytes successfully moved.
     pub bytes_moved: u64,
     /// Driver cost per phase (Figure 6 columns).
@@ -116,6 +125,12 @@ pub(crate) struct Inflight {
     /// registered so a trapping write can still abort it, but it no
     /// longer occupies the pipeline (the engine is free).
     pub completed: bool,
+    /// DMA issues consumed so far (0 = first attempt). Drives the
+    /// bounded-retry/backoff policy under fault injection.
+    pub attempt: u32,
+    /// The armed per-request watchdog event, cancelled on completion.
+    /// `None` on the fault-free path (watchdogs are chaos-only).
+    pub watchdog: Option<memif_hwsim::EventId>,
 }
 
 /// An open memif device.

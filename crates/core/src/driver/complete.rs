@@ -1,23 +1,24 @@
 //! Operations 4–5 of Table 1: Release (with race detection) and Notify,
 //! on the interrupt path or the kernel thread's polling path (§5.4).
 
-use memif_hwsim::dma::TransferId;
+use memif_hwsim::dma::{DmaOutcome, TransferId};
 use memif_hwsim::{Context, Phase, Sim, SimDuration, SimTime};
-use memif_lockfree::{MovReq, MoveStatus, QueueId, SlotIndex};
+use memif_lockfree::{FailReason, MovReq, MoveStatus, QueueId, SlotIndex};
 
 use crate::config::RaceMode;
 use crate::device::{CompletionRecord, DeviceId, Inflight};
 use crate::driver::{dev, dev_mut, kthread};
 use crate::system::System;
 
-/// Runs when the DMA engine finishes a device's transfer.
+/// Runs when the DMA engine finishes (or errors out) a device's
+/// transfer.
 pub(crate) fn on_dma_complete(
     sys: &mut System,
     sim: &mut Sim<System>,
     id: DeviceId,
     transfer: TransferId,
+    outcome: DmaOutcome,
 ) {
-    // The bytes materialize now: perform the programmed copies.
     let Some(index) = dev(sys, id)
         .inflight
         .iter()
@@ -25,6 +26,33 @@ pub(crate) fn on_dma_complete(
     else {
         return; // aborted concurrently
     };
+
+    if let DmaOutcome::Error { .. } = outcome {
+        // Error interrupt: the engine faulted mid-transfer. The partial
+        // destination bytes are untrusted and discarded; retire this
+        // attempt and route the request into the retry machinery.
+        sys.dma.fail(transfer);
+        crate::driver::exec::release_tc(sys, sim);
+        let irq_cost = sys.cost.interrupt;
+        sys.meter.charge(Context::Interrupt, irq_cost);
+        let (token, req_id) = {
+            let inflight = &mut dev_mut(sys, id).inflight[index];
+            inflight.transfer = None;
+            (inflight.token, inflight.req.id)
+        };
+        dev_mut(sys, id).stats.dma_errors += 1;
+        sys.trace_emit(
+            sim.now(),
+            irq_cost,
+            Context::Interrupt,
+            "DMA error interrupt",
+            Some(req_id),
+        );
+        crate::driver::exec::handle_dma_failure(sys, sim, id, token, FailReason::DmaError);
+        return;
+    }
+
+    // The bytes materialize now: perform the programmed copies.
     let segments = dev(sys, id).inflight[index].segments.clone();
     for seg in &segments {
         sys.phys.copy(seg.src, seg.dst, seg.bytes);
@@ -37,6 +65,9 @@ pub(crate) fn on_dma_complete(
     // out by token there. Marking it completed frees its pipeline slot.
     let inflight = &mut dev_mut(sys, id).inflight[index];
     inflight.completed = true;
+    if let Some(w) = inflight.watchdog.take() {
+        sim.cancel(w);
+    }
     let token = inflight.token;
     let req_id = inflight.req.id;
     let interrupt_mode = inflight.interrupt_mode;
@@ -127,7 +158,7 @@ pub(crate) fn on_dma_complete(
 }
 
 /// Op 4 + Op 5 for one completed request. Returns the CPU cost.
-fn release_and_notify(
+pub(crate) fn release_and_notify(
     sys: &mut System,
     sim: &mut Sim<System>,
     id: DeviceId,

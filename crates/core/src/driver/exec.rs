@@ -3,16 +3,12 @@
 
 use memif_hwsim::dma::SgSegment;
 use memif_hwsim::{Context, Phase, SimDuration};
-use memif_lockfree::{Dequeued, MovReq, MoveKind, MoveStatus};
+use memif_lockfree::{Dequeued, FailReason, MovReq, MoveKind, MoveStatus};
 use memif_mm::{PageSize, Pte, VirtAddr};
 
 use crate::config::RaceMode;
 use crate::device::{DeviceId, Inflight, PagePlan};
-
-/// How long the driver backs off before re-attempting a request that
-/// found every PaRAM descriptor busy.
-const RETRY_BACKOFF: SimDuration = SimDuration::from_us(20);
-use crate::driver::{complete, dev, dev_mut};
+use crate::driver::{complete, dev, dev_mut, fault, kthread};
 use crate::system::System;
 
 /// What happened to a request handed to the driver.
@@ -40,6 +36,20 @@ pub(crate) fn execute_request(
     id: DeviceId,
     deq: Dequeued,
     ctx: Context,
+) -> (SimDuration, ExecOutcome) {
+    execute_attempt(sys, sim, id, deq, ctx, 0)
+}
+
+/// [`execute_request`] with an attempt budget carried across descriptor-
+/// exhaustion retries. On the fault-free path the attempt counter stays
+/// zero and the retry loop is unbounded, exactly as before hardening.
+fn execute_attempt(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    deq: Dequeued,
+    ctx: Context,
+    attempt: u32,
 ) -> (SimDuration, ExecOutcome) {
     let req = deq.req;
     let mut elapsed = SimDuration::ZERO;
@@ -71,22 +81,65 @@ pub(crate) fn execute_request(
         Ok(cfg) => cfg,
         Err(memif_hwsim::dma::ChainError::AllBusy) => {
             // Every descriptor is tied up in other tenants' in-flight
-            // transfers. A real driver waits for the PaRAM; undo the
-            // remap and retry the whole request shortly.
+            // transfers. A real driver waits for the PaRAM.
+            let chaos = sys.chaos_enabled();
+            let (max_retries, base_backoff, fallback) = {
+                let c = &dev(sys, id).config;
+                (c.max_dma_retries, c.retry_backoff, c.cpu_fallback)
+            };
+            if chaos && attempt >= max_retries {
+                // Retry budget exhausted under fault injection: serve the
+                // request degraded (the remap is still installed) or roll
+                // it back and fail it — never drop it silently.
+                if fallback {
+                    let token = register_inflight(sys, id, req, &deq, None, plan, false, attempt);
+                    sim.schedule_after(elapsed, move |sys: &mut System, sim| {
+                        degrade_or_fail(sys, sim, id, token, FailReason::Descriptors);
+                    });
+                    return (elapsed, ExecOutcome::Launched);
+                }
+                undo_remap(sys, id, &plan);
+                complete::notify(
+                    sys,
+                    sim,
+                    id,
+                    deq.slot,
+                    req,
+                    MoveStatus::Failed(FailReason::Descriptors),
+                    None,
+                    ctx,
+                );
+                return (elapsed, ExecOutcome::Rejected);
+            }
+            // Undo the remap and retry the whole request shortly. The
+            // fault-free path keeps its historical unbounded fixed
+            // backoff; under chaos the backoff doubles per attempt and
+            // the budget above bounds it.
             undo_remap(sys, id, &plan);
             let retry = Dequeued {
                 slot: deq.slot,
                 req,
                 color: deq.color,
             };
-            sim.schedule_after(RETRY_BACKOFF, move |sys: &mut System, sim| {
-                let _ = execute_request(sys, sim, id, retry, ctx);
+            let (backoff, next_attempt) = if chaos {
+                dev_mut(sys, id).stats.retries += 1;
+                (base_backoff * (1u64 << attempt.min(16)), attempt + 1)
+            } else {
+                (base_backoff, 0)
+            };
+            sim.schedule_after(backoff, move |sys: &mut System, sim| {
+                let _ = execute_attempt(sys, sim, id, retry, ctx, next_attempt);
             });
             return (elapsed, ExecOutcome::Launched);
         }
-        Err(memif_hwsim::dma::ChainError::TooLarge { .. }) => {
-            // Cannot ever fit (validation bounds nr_pages by the pool
-            // size, so this is belt-and-braces).
+        Err(
+            memif_hwsim::dma::ChainError::TooLarge { .. }
+            | memif_hwsim::dma::ChainError::Empty
+            | memif_hwsim::dma::ChainError::MixedSizes,
+        ) => {
+            // Cannot ever fit or malformed scatter-gather geometry
+            // (validation bounds nr_pages by the pool size and plans use
+            // one uniform page size, so this is belt-and-braces).
             undo_remap(sys, id, &plan);
             complete::notify(sys, sim, id, deq.slot, req, MoveStatus::Invalid, None, ctx);
             return (elapsed, ExecOutcome::Rejected);
@@ -102,23 +155,7 @@ pub(crate) fn execute_request(
     let bytes = cfg.bytes;
     let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);
     let interrupt_mode = bytes >= threshold;
-
-    let device = dev_mut(sys, id);
-    let token = device.next_token;
-    device.next_token += 1;
-    device.inflight.push(Inflight {
-        token,
-        req,
-        slot: deq.slot,
-        transfer: None,
-        cfg: Some(cfg),
-        segments: plan.segments,
-        pages: plan.pages,
-        page_size: plan.page_size,
-        interrupt_mode,
-        dma_started_at: None,
-        completed: false,
-    });
+    let token = register_inflight(sys, id, req, &deq, Some(cfg), plan, interrupt_mode, attempt);
 
     sys.trace_emit(
         sim.now(),
@@ -132,6 +169,39 @@ pub(crate) fn execute_request(
         launch(sys, sim, id, token)
     });
     (elapsed, ExecOutcome::Launched)
+}
+
+/// Registers a prepared request with the device and returns its token.
+#[allow(clippy::too_many_arguments)]
+fn register_inflight(
+    sys: &mut System,
+    id: DeviceId,
+    req: MovReq,
+    deq: &Dequeued,
+    cfg: Option<memif_hwsim::dma::ConfiguredTransfer>,
+    plan: Plan,
+    interrupt_mode: bool,
+    attempt: u32,
+) -> u64 {
+    let device = dev_mut(sys, id);
+    let token = device.next_token;
+    device.next_token += 1;
+    device.inflight.push(Inflight {
+        token,
+        req,
+        slot: deq.slot,
+        transfer: None,
+        cfg,
+        segments: plan.segments,
+        pages: plan.pages,
+        page_size: plan.page_size,
+        interrupt_mode,
+        dma_started_at: None,
+        completed: false,
+        attempt,
+        watchdog: None,
+    });
+    token
 }
 
 pub(crate) fn launch(
@@ -173,8 +243,13 @@ pub(crate) fn launch(
     else {
         unreachable!("checked above");
     };
-    let cfg = inflight.cfg.take().expect("launch runs once");
-    inflight.dma_started_at = Some(now);
+    let cfg = inflight
+        .cfg
+        .take()
+        .expect("launch consumes a programmed cfg");
+    if inflight.dma_started_at.is_none() {
+        inflight.dma_started_at = Some(now);
+    }
     let (src, dst) = (cfg.segments[0].src, cfg.segments[0].dst);
     let src_node = sys.node_of(src).expect("segment in a known bank");
     let dst_node = sys.node_of(dst).expect("segment in a known bank");
@@ -186,8 +261,8 @@ pub(crate) fn launch(
         &route,
         &cfg,
         demand,
-        move |sys, sim, tid| {
-            complete::on_dma_complete(sys, sim, id, tid);
+        move |sys, sim, tid, outcome| {
+            complete::on_dma_complete(sys, sim, id, tid, outcome);
         },
     );
     let req_id = dev(sys, id)
@@ -205,6 +280,243 @@ pub(crate) fn launch(
     let wall = SimDuration::for_bytes(cfg.bytes, demand) + cfg.engine_overhead;
     sys.meter.charge(Context::DmaEngine, wall);
     sys.trace_emit(now, wall, Context::DmaEngine, "DMA transfer", req_id);
+
+    // Chaos-only watchdog: arm a deadline generous enough for queueing
+    // and brownouts; if the completion interrupt never arrives the timer
+    // reclaims the transfer. Fault-free runs never schedule this event,
+    // keeping the hot path and the event stream identical to pre-
+    // hardening builds.
+    if sys.chaos_enabled() {
+        let (factor, slack) = {
+            let c = &dev(sys, id).config;
+            (c.watchdog_factor, c.watchdog_slack)
+        };
+        let deadline = wall * u64::from(factor) + slack;
+        let wd = sim.schedule_after(deadline, move |sys: &mut System, sim| {
+            watchdog_fire(sys, sim, id, token);
+        });
+        dev_mut(sys, id)
+            .inflight
+            .iter_mut()
+            .find(|i| i.token == token)
+            .expect("still inflight")
+            .watchdog = Some(wd);
+    }
+}
+
+/// The per-request watchdog: declares the transfer lost if it is still
+/// pending when the deadline expires, then routes it into the bounded
+/// retry machinery.
+fn watchdog_fire(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, id: DeviceId, token: u64) {
+    if sys.device(id).is_none() {
+        return;
+    }
+    let Some(inflight) = dev(sys, id).inflight.iter().find(|i| i.token == token) else {
+        return; // finished or aborted; stale timer
+    };
+    if inflight.completed {
+        return;
+    }
+    let req_id = inflight.req.id;
+    dev_mut(sys, id).stats.timeouts += 1;
+    sys.trace_emit(
+        sim.now(),
+        SimDuration::ZERO,
+        Context::Interrupt,
+        "watchdog: completion interrupt lost",
+        Some(req_id),
+    );
+    handle_dma_failure(sys, sim, id, token, FailReason::Timeout);
+}
+
+/// Common failure funnel for watchdog expiry and DMA error interrupts:
+/// reclaims the engine resources of the failed attempt, then either
+/// re-issues the request (bounded, exponential backoff) or degrades it.
+pub(crate) fn handle_dma_failure(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+    reason: FailReason,
+) {
+    let Some(inflight) = dev_mut(sys, id)
+        .inflight
+        .iter_mut()
+        .find(|i| i.token == token)
+    else {
+        return;
+    };
+    if let Some(w) = inflight.watchdog.take() {
+        sim.cancel(w);
+    }
+    let attempt = inflight.attempt;
+    match inflight.transfer.take() {
+        Some(t) => {
+            // A lost transfer still owns its chain and controller slot
+            // (its completion never ran); abort reclaims both. A transfer
+            // already retired by `DmaEngine::fail` aborts as a no-op.
+            if sys.dma.abort(&mut sys.flows, sim, t) {
+                release_tc(sys, sim);
+            }
+        }
+        None => {
+            sys.tc_waiting.retain(|(d, t)| !(*d == id && *t == token));
+        }
+    }
+    let (max_retries, base_backoff) = {
+        let c = &dev(sys, id).config;
+        (c.max_dma_retries, c.retry_backoff)
+    };
+    if attempt < max_retries {
+        {
+            let device = dev_mut(sys, id);
+            device.stats.retries += 1;
+            if let Some(i) = device.inflight.iter_mut().find(|i| i.token == token) {
+                i.attempt += 1;
+            }
+        }
+        let backoff = base_backoff * (1u64 << attempt.min(16));
+        sim.schedule_after(backoff, move |sys: &mut System, sim| {
+            retry_launch(sys, sim, id, token);
+        });
+        return;
+    }
+    degrade_or_fail(sys, sim, id, token, reason);
+}
+
+/// Re-issues a request whose previous DMA attempt failed: reprograms the
+/// scatter-gather chain from the retained segments and relaunches.
+fn retry_launch(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, id: DeviceId, token: u64) {
+    if sys.device(id).is_none() {
+        return;
+    }
+    let Some(segments) = dev(sys, id)
+        .inflight
+        .iter()
+        .find(|i| i.token == token)
+        .map(|i| i.segments.clone())
+    else {
+        return; // aborted while backing off
+    };
+    let req_id = dev(sys, id)
+        .inflight
+        .iter()
+        .find(|i| i.token == token)
+        .map(|i| i.req.id);
+    sys.dma
+        .set_reuse_enabled(dev(sys, id).config.descriptor_reuse);
+    match sys.dma.configure(segments, &sys.cost) {
+        Ok(cfg) => {
+            let cost = cfg.config_cost;
+            sys.meter.charge(Context::KernelThread, cost);
+            {
+                let device = dev_mut(sys, id);
+                device.stats.phases.add(Phase::DmaConfig, cost);
+                if let Some(i) = device.inflight.iter_mut().find(|i| i.token == token) {
+                    i.cfg = Some(cfg);
+                }
+            }
+            sys.trace_emit(
+                sim.now(),
+                cost,
+                Context::KernelThread,
+                "retry: reprogram chain",
+                req_id,
+            );
+            sim.schedule_after(cost, move |sys: &mut System, sim| {
+                launch(sys, sim, id, token)
+            });
+        }
+        Err(memif_hwsim::dma::ChainError::AllBusy) => {
+            // Still exhausted: charge another attempt against the budget.
+            handle_dma_failure(sys, sim, id, token, FailReason::Descriptors);
+        }
+        Err(_) => {
+            // Geometry errors cannot heal by retrying.
+            degrade_or_fail(sys, sim, id, token, FailReason::Descriptors);
+        }
+    }
+}
+
+/// Retry budget exhausted: serve the request on the costed CPU-copy path
+/// (configurable), or tear it down and deliver `Failed`. Either way the
+/// request reaches exactly one terminal state.
+pub(crate) fn degrade_or_fail(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+    reason: FailReason,
+) {
+    let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+        return;
+    };
+    if !dev(sys, id).config.cpu_fallback {
+        let mut inflight = dev_mut(sys, id).inflight.remove(index);
+        if let Some(w) = inflight.watchdog.take() {
+            sim.cancel(w);
+        }
+        if let Some(t) = inflight.transfer.take() {
+            if sys.dma.abort(&mut sys.flows, sim, t) {
+                release_tc(sys, sim);
+            }
+        }
+        fault::teardown_inflight(sys, sim, id, inflight, MoveStatus::Failed(reason));
+        return;
+    }
+    // Degraded service: the kernel worker performs the copy itself at the
+    // costed CPU-copy bandwidth (4 µs per 4 KB page on Keystone II).
+    let copy_cost = {
+        let inflight = &dev(sys, id).inflight[index];
+        let bytes: u64 = inflight.segments.iter().map(|s| s.bytes).sum();
+        sys.cost.cpu_copy(bytes)
+    };
+    sys.meter.charge(Context::KernelThread, copy_cost);
+    let segments = dev(sys, id).inflight[index].segments.clone();
+    for seg in &segments {
+        sys.phys.copy(seg.src, seg.dst, seg.bytes);
+    }
+    let req_id = {
+        let device = dev_mut(sys, id);
+        device.stats.fallbacks += 1;
+        device.stats.phases.add(Phase::Copy, copy_cost);
+        let inflight = &mut device.inflight[index];
+        inflight.completed = true; // engine freed; pipeline slot opens
+        inflight.cfg = None;
+        inflight.req.id
+    };
+    sys.trace_emit(
+        sim.now(),
+        copy_cost,
+        Context::KernelThread,
+        "degraded: CPU-copy fallback",
+        Some(req_id),
+    );
+    // Release must wait for the worker's CPU, like the polling path.
+    let ready_at = (sim.now() + copy_cost).max(dev(sys, id).kthread_busy_until);
+    dev_mut(sys, id).kthread_busy_until = ready_at;
+    sim.schedule_at(ready_at, move |sys: &mut System, sim| {
+        let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+            return; // aborted in the copy window
+        };
+        let inflight = dev_mut(sys, id).inflight.remove(index);
+        let req_id = inflight.req.id;
+        let release_cost =
+            complete::release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+        sys.trace_emit(
+            sim.now(),
+            release_cost,
+            Context::KernelThread,
+            "ops 4-5: release+notify (degraded)",
+            Some(req_id),
+        );
+        let busy_until = sim.now() + release_cost;
+        let device = dev_mut(sys, id);
+        device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
+        sim.schedule_after(release_cost, move |sys: &mut System, sim| {
+            kthread::run(sys, sim, id);
+        });
+    });
 }
 
 /// Frees one transfer-controller slot and launches the next waiting

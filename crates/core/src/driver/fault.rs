@@ -53,12 +53,14 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
         .iter()
         .position(|i| i.token == token)
         .expect("fault hit an inflight request");
-    let inflight = dev_mut(sys, id).inflight.remove(index);
-    let owner = dev(sys, id).owner;
+    let mut inflight = dev_mut(sys, id).inflight.remove(index);
+    if let Some(watchdog) = inflight.watchdog.take() {
+        sim.cancel(watchdog);
+    }
 
     // Drop the outstanding DMA transfer (it may not have launched yet,
     // or may still be waiting for a transfer controller).
-    if let Some(transfer) = inflight.transfer {
+    if let Some(transfer) = inflight.transfer.take() {
         if sys.dma.abort(&mut sys.flows, sim, transfer) {
             crate::driver::exec::release_tc(sys, sim);
         }
@@ -66,6 +68,23 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
         sys.tc_waiting
             .retain(|(d, t)| !(*d == id && *t == inflight.token));
     }
+
+    teardown_inflight(sys, sim, id, inflight, MoveStatus::Aborted);
+}
+
+/// Rolls back one already-removed in-flight migration — restores the
+/// original PTEs, frees the would-be destination frames — and delivers
+/// `status` (`Aborted` for proceed-and-recover, `Failed` when the DMA
+/// path gave up without a CPU fallback). The caller has already
+/// reclaimed the engine-side resources.
+pub(crate) fn teardown_inflight(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    inflight: crate::device::Inflight,
+    status: MoveStatus,
+) {
+    let owner = dev(sys, id).owner;
 
     // Restore the original PTEs (including remote mappers of shared
     // pages) and release the would-be destination.
@@ -98,7 +117,9 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
     sys.meter.charge(Context::Syscall, cost);
     {
         let stats = &mut dev_mut(sys, id).stats;
-        stats.aborts += 1;
+        if status == MoveStatus::Aborted {
+            stats.aborts += 1;
+        }
         stats.phases.add(Phase::Release, cost);
     }
 
@@ -108,7 +129,7 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
         id,
         inflight.slot,
         inflight.req,
-        MoveStatus::Aborted,
+        status,
         inflight.dma_started_at,
         Context::Syscall,
     );

@@ -30,6 +30,14 @@ pub enum MemifError {
     Overlap,
     /// A shared-region slot failed validation.
     Region(RegionError),
+    /// A DMA transfer exceeded its watchdog deadline and was declared
+    /// lost (its completion interrupt never arrived).
+    Timeout,
+    /// The DMA engine failed the transfer and every retry was exhausted.
+    DmaFailed,
+    /// The request was served, but by the degraded CPU-copy path rather
+    /// than the DMA engine.
+    Degraded,
 }
 
 impl From<RegionError> for MemifError {
@@ -57,6 +65,9 @@ impl std::fmt::Display for MemifError {
             MemifError::EmptyRequest => f.write_str("request covers zero pages"),
             MemifError::Overlap => f.write_str("replication source and destination overlap"),
             MemifError::Region(e) => write!(f, "shared region: {e}"),
+            MemifError::Timeout => f.write_str("DMA transfer watchdog expired"),
+            MemifError::DmaFailed => f.write_str("DMA transfer failed after all retries"),
+            MemifError::Degraded => f.write_str("request served by the degraded CPU-copy path"),
         }
     }
 }
@@ -79,5 +90,14 @@ mod tests {
         assert!(MemifError::BadRange(VirtAddr::new(0x123))
             .to_string()
             .contains("0x123"));
+        for e in [
+            MemifError::Timeout,
+            MemifError::DmaFailed,
+            MemifError::Degraded,
+        ] {
+            assert!(!e.to_string().is_empty());
+            let as_std: &dyn std::error::Error = &e;
+            assert!(as_std.source().is_none());
+        }
     }
 }

@@ -48,6 +48,8 @@ pub use error::MemifError;
 pub use system::{Resources, SpaceId, System, TraceEntry};
 
 // Re-export the building blocks user code needs at the API boundary.
-pub use memif_hwsim::{Context, NodeId, Phase, Sim, SimDuration, SimTime};
-pub use memif_lockfree::{MoveKind, MoveStatus};
+pub use memif_hwsim::{
+    Brownout, Context, FaultPlan, FaultStats, NodeId, Phase, Sim, SimDuration, SimTime,
+};
+pub use memif_lockfree::{FailReason, MoveKind, MoveStatus};
 pub use memif_mm::{PageSize, VirtAddr};

@@ -138,6 +138,45 @@ impl System {
         self.tc_active
     }
 
+    /// Installs a chaos-mode fault plan: the DMA engine gets a seeded
+    /// [`memif_hwsim::FaultInjector`], and every scheduled brownout
+    /// becomes a pair of events scaling the affected node's bus capacity
+    /// down at its start and back at its end.
+    ///
+    /// Installing a plan also arms the driver's per-request watchdogs
+    /// and bounded-retry machinery; without one (the default), none of
+    /// that machinery exists and simulation output is byte-identical to
+    /// a build without this feature. A no-op plan with brownouts still
+    /// installs (the watchdog must cover brownout-stretched transfers).
+    ///
+    /// Brownouts naming unknown nodes are skipped.
+    pub fn install_faults(&mut self, sim: &mut Sim<System>, plan: memif_hwsim::FaultPlan) {
+        for b in &plan.brownouts {
+            let Some(node) = self.topo.node(b.node) else {
+                continue;
+            };
+            let base = node.bandwidth_gbps;
+            let factor = b.factor.clamp(f64::MIN_POSITIVE, 1.0);
+            let resource = self.resources.node(b.node);
+            let (start, end) = (b.start, b.start + b.duration);
+            sim.schedule_at(start, move |sys: &mut System, sim| {
+                sys.flows.set_capacity(sim, resource, base * factor);
+            });
+            sim.schedule_at(end, move |sys: &mut System, sim| {
+                sys.flows.set_capacity(sim, resource, base);
+            });
+        }
+        self.dma
+            .install_injector(memif_hwsim::FaultInjector::new(plan));
+    }
+
+    /// True once a fault plan has been installed: the driver arms
+    /// watchdogs and bounds its retries.
+    #[must_use]
+    pub fn chaos_enabled(&self) -> bool {
+        self.dma.injector().is_some()
+    }
+
     /// Turns on driver execution tracing (the raw material for the
     /// Figure 5 timeline). Costs nothing when off.
     pub fn enable_tracing(&mut self) {

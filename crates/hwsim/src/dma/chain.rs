@@ -55,7 +55,7 @@ struct ChainRecord {
     busy: bool,
 }
 
-/// Errors from chain planning.
+/// Errors from chain planning and transfer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChainError {
     /// More descriptors were requested than the PaRAM can ever hold.
@@ -67,6 +67,11 @@ pub enum ChainError {
     },
     /// Every descriptor is currently tied up in busy (in-flight) chains.
     AllBusy,
+    /// The scatter-gather list holds no segments at all.
+    Empty,
+    /// The scatter-gather segments are not uniformly sized (memif
+    /// dedicates one equally-sized descriptor per page).
+    MixedSizes,
 }
 
 impl std::fmt::Display for ChainError {
@@ -76,6 +81,8 @@ impl std::fmt::Display for ChainError {
                 write!(f, "{requested} descriptors requested, pool holds {pool}")
             }
             ChainError::AllBusy => f.write_str("all descriptors busy with in-flight transfers"),
+            ChainError::Empty => f.write_str("empty scatter-gather list"),
+            ChainError::MixedSizes => f.write_str("scatter-gather segments not uniformly sized"),
         }
     }
 }
@@ -244,6 +251,23 @@ impl ChainManager {
     #[must_use]
     pub fn known_chains(&self) -> usize {
         self.chains.len()
+    }
+
+    /// Chains currently marked busy (serving in-flight transfers).
+    #[must_use]
+    pub fn busy_chains(&self) -> usize {
+        self.chains.values().filter(|c| c.busy).count()
+    }
+
+    /// Descriptors currently held by busy chains — the pool's in-flight
+    /// occupancy. Zero once every transfer has completed or aborted.
+    #[must_use]
+    pub fn busy_descriptors(&self) -> usize {
+        self.chains
+            .values()
+            .filter(|c| c.busy)
+            .map(|c| c.descs.len())
+            .sum()
     }
 
     fn record(&mut self, descs: Vec<u16>, bytes_per_desc: u64) -> ChainId {

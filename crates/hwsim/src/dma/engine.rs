@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use crate::cost::CostModel;
 use crate::dma::chain::{ChainError, ChainId, ChainManager, ChainPlan};
 use crate::dma::param::{ParamSet, NULL_LINK, NUM_PARAM_SETS};
+use crate::fault::{FaultInjector, FaultStats, TransferFault};
 use crate::flow::{FlowId, FlowSystem, ResourceId};
 use crate::phys::PhysAddr;
 use crate::sim::Sim;
@@ -65,14 +66,31 @@ pub struct DmaStats {
     pub transfers: u64,
     /// Transfers aborted before completion.
     pub aborted: u64,
+    /// Transfers terminated by a mid-flight engine error.
+    pub errors: u64,
     /// Bytes moved by completed transfers.
     pub bytes_moved: u64,
     /// Descriptors configured from scratch (12 field writes each).
     pub full_configs: u64,
     /// Descriptors reconfigured via reuse (src/dst rewrites only).
     pub reuse_configs: u64,
-    /// Completion interrupts delivered.
+    /// Completion interrupts delivered (including error interrupts).
     pub interrupts: u64,
+}
+
+/// How a launched transfer ended, as seen by its completion callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaOutcome {
+    /// The whole scatter-gather chain was walked; the bytes are at their
+    /// destination.
+    Completed,
+    /// The engine raised an error interrupt partway through. No bytes
+    /// are guaranteed at the destination; the caller must call
+    /// [`DmaEngine::fail`] and decide whether to retry.
+    Error {
+        /// Bytes the engine had moved before the error.
+        bytes_done: u64,
+    },
 }
 
 /// The simulated EDMA3-class engine.
@@ -83,6 +101,9 @@ pub struct DmaEngine {
     stats: DmaStats,
     in_flight: HashMap<u64, InFlight>,
     next_transfer: u64,
+    /// Installed fault injector; `None` (the default) means the engine
+    /// is perfectly reliable and the hot path pays nothing.
+    injector: Option<FaultInjector>,
 }
 
 #[derive(Debug)]
@@ -122,6 +143,7 @@ impl DmaEngine {
             stats: DmaStats::default(),
             in_flight: HashMap::new(),
             next_transfer: 0,
+            injector: None,
         }
     }
 
@@ -129,6 +151,24 @@ impl DmaEngine {
     #[must_use]
     pub fn stats(&self) -> DmaStats {
         self.stats
+    }
+
+    /// Installs a fault injector: subsequent configures and launches
+    /// consult it. Replaces any previous injector.
+    pub fn install_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed injector, if any.
+    #[must_use]
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Injected-fault counters, if an injector is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Enables/disables descriptor-chain reuse (ablation A1).
@@ -156,26 +196,33 @@ impl DmaEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`ChainError`] when the descriptor pool cannot serve
-    /// the request.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty segment list or mixed segment sizes.
+    /// * [`ChainError::Empty`] on an empty segment list and
+    ///   [`ChainError::MixedSizes`] on non-uniform segment sizes —
+    ///   malformed driver input must surface as an error, never a panic.
+    /// * [`ChainError::TooLarge`] / [`ChainError::AllBusy`] when the
+    ///   descriptor pool cannot serve the request. An installed
+    ///   [`FaultInjector`] may also report `AllBusy` spuriously to model
+    ///   transient PaRAM exhaustion by other tenants.
     pub fn configure(
         &mut self,
         segments: Vec<SgSegment>,
         cost: &CostModel,
     ) -> Result<ConfiguredTransfer, ChainError> {
-        assert!(!segments.is_empty(), "empty scatter-gather list");
-        let per = segments[0].bytes;
-        assert!(
-            segments.iter().all(|s| s.bytes == per),
-            "one descriptor per page: uniform segment sizes required"
-        );
+        let Some(first) = segments.first() else {
+            return Err(ChainError::Empty);
+        };
+        let per = first.bytes;
+        if segments.iter().any(|s| s.bytes != per) {
+            return Err(ChainError::MixedSizes);
+        }
+        if let Some(inj) = &mut self.injector {
+            if inj.roll_configure() {
+                return Err(ChainError::AllBusy);
+            }
+        }
         let plan = self.chains.plan(segments.len(), per)?;
         let config_cost = self.apply(&plan, &segments, cost);
-        let head = plan.descriptors().next().expect("non-empty plan");
+        let head = plan.descriptors().next().ok_or(ChainError::Empty)?;
         let bytes = per * segments.len() as u64;
         Ok(ConfiguredTransfer {
             chain: plan.chain,
@@ -224,8 +271,17 @@ impl DmaEngine {
     ///
     /// The engine does not know the world type, so the caller supplies
     /// the flow system and the completion continuation; `on_complete`
-    /// receives the world, the sim, and the transfer id, and is expected
-    /// to perform the byte copies and call [`DmaEngine::finish`].
+    /// receives the world, the sim, the transfer id, and the
+    /// [`DmaOutcome`], and is expected to perform the byte copies and
+    /// call [`DmaEngine::finish`] (or [`DmaEngine::fail`] on an error
+    /// outcome).
+    ///
+    /// With a [`FaultInjector`] installed the transfer's fate is rolled
+    /// here: it may error out after a prefix of its bytes (`on_complete`
+    /// runs early with [`DmaOutcome::Error`]), its completion interrupt
+    /// may be dropped (`on_complete` never runs — only an external
+    /// watchdog plus [`DmaEngine::abort`] can reclaim it), or the
+    /// interrupt may be delivered late.
     pub fn launch<W: 'static>(
         &mut self,
         flows: &mut FlowSystem<W>,
@@ -233,7 +289,7 @@ impl DmaEngine {
         route: &[ResourceId],
         transfer: &ConfiguredTransfer,
         demand_gbps: f64,
-        on_complete: impl FnOnce(&mut W, &mut Sim<W>, TransferId) + 'static,
+        on_complete: impl FnOnce(&mut W, &mut Sim<W>, TransferId, DmaOutcome) + 'static,
     ) -> TransferId {
         let id = TransferId(self.next_transfer);
         self.next_transfer += 1;
@@ -242,13 +298,46 @@ impl DmaEngine {
         // transfer's demand rate, so chained descriptors serialize inside
         // the flow without a separate timer.
         let overhead_bytes = (transfer.engine_overhead.as_ns() as f64 * demand_gbps) as u64;
-        let flow = flows.start_flow(
-            sim,
-            route,
-            transfer.bytes + overhead_bytes,
-            demand_gbps,
-            move |w, s| on_complete(w, s, id),
-        );
+        let fault = match &mut self.injector {
+            Some(inj) => inj.roll_transfer(transfer.bytes),
+            None => TransferFault::None,
+        };
+        let flow = match fault {
+            TransferFault::None => flows.start_flow(
+                sim,
+                route,
+                transfer.bytes + overhead_bytes,
+                demand_gbps,
+                move |w, s| on_complete(w, s, id, DmaOutcome::Completed),
+            ),
+            TransferFault::Error { bytes_done } => flows.start_flow(
+                sim,
+                route,
+                bytes_done + overhead_bytes,
+                demand_gbps,
+                move |w, s| on_complete(w, s, id, DmaOutcome::Error { bytes_done }),
+            ),
+            TransferFault::DropCompletion => flows.start_flow(
+                sim,
+                route,
+                transfer.bytes + overhead_bytes,
+                demand_gbps,
+                // The transfer runs to completion on the fabric, but the
+                // interrupt is lost: nobody is told.
+                |_, _| {},
+            ),
+            TransferFault::DelayCompletion(delay) => flows.start_flow(
+                sim,
+                route,
+                transfer.bytes + overhead_bytes,
+                demand_gbps,
+                move |_, s: &mut Sim<W>| {
+                    s.schedule_after(delay, move |w: &mut W, s| {
+                        on_complete(w, s, id, DmaOutcome::Completed);
+                    });
+                },
+            ),
+        };
         self.in_flight.insert(
             id.0,
             InFlight {
@@ -265,6 +354,17 @@ impl DmaEngine {
     pub fn finish(&mut self, id: TransferId) {
         if let Some(t) = self.in_flight.remove(&id.0) {
             self.stats.bytes_moved += t.bytes;
+            self.stats.interrupts += 1;
+            self.chains.release(t.chain);
+        }
+    }
+
+    /// Retires a transfer that ended in [`DmaOutcome::Error`]: releases
+    /// its chain and counts the error interrupt, without crediting the
+    /// transfer's bytes. Call from the `on_complete` continuation.
+    pub fn fail(&mut self, id: TransferId) {
+        if let Some(t) = self.in_flight.remove(&id.0) {
+            self.stats.errors += 1;
             self.stats.interrupts += 1;
             self.chains.release(t.chain);
         }
@@ -389,14 +489,21 @@ mod tests {
 
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
         let segs = t.segments.clone();
-        w.dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 5.8, move |w, s, id| {
+        w.dma.launch(
+            &mut w.flows,
+            &mut sim,
+            &[ddr],
+            &t,
+            5.8,
+            move |w, s, id, outcome| {
+                assert_eq!(outcome, DmaOutcome::Completed);
                 for sg in &segs {
                     w.phys.copy(sg.src, sg.dst, sg.bytes);
                 }
                 w.dma.finish(id);
                 w.done_at = Some(s.now().as_ns());
-            });
+            },
+        );
         sim.run(&mut w);
         assert!(w.done_at.is_some());
         assert_eq!(
@@ -421,7 +528,7 @@ mod tests {
         let expected_overhead = cm.dma_trigger + cm.dma_per_desc_engine * 4;
         assert_eq!(t.engine_overhead, expected_overhead);
         w.dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id| {
+            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
                 w.dma.finish(id);
                 w.done_at = Some(s.now().as_ns());
             });
@@ -446,7 +553,7 @@ mod tests {
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
         let id = w
             .dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 1.0, |w, s, id| {
+            .launch(&mut w.flows, &mut sim, &[ddr], &t, 1.0, |w, s, id, _| {
                 w.dma.finish(id);
                 w.done_at = Some(s.now().as_ns());
             });
@@ -464,6 +571,145 @@ mod tests {
         // The chain was released by the abort; reuse works afterwards.
         let t2 = w.dma.configure(vec![seg(1)], &cm).unwrap();
         assert_eq!(t2.config_cost, cm.desc_config_reuse());
+    }
+
+    #[test]
+    fn malformed_sg_lists_are_errors_not_panics() {
+        let cm = CostModel::keystone_ii();
+        let mut e = DmaEngine::with_pool(8);
+        assert_eq!(e.configure(Vec::new(), &cm), Err(ChainError::Empty));
+        let mut segs: Vec<SgSegment> = (0..2).map(seg).collect();
+        segs[1].bytes = 8192;
+        assert_eq!(e.configure(segs, &cm), Err(ChainError::MixedSizes));
+        // An oversized list propagates the pool error rather than
+        // asserting.
+        let r = e.configure((0..9).map(seg).collect(), &cm);
+        assert!(matches!(
+            r,
+            Err(ChainError::TooLarge {
+                requested: 9,
+                pool: 8
+            })
+        ));
+        // The pool is untouched by any of the rejections.
+        assert_eq!(e.chains().free_descriptors(), 8);
+    }
+
+    #[test]
+    fn injected_error_delivers_error_outcome_and_fail_releases() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cm = CostModel::keystone_ii();
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = world(16);
+        let ddr = w.flows.add_resource("ddr", 6.2);
+        w.dma
+            .install_injector(FaultInjector::new(FaultPlan::dma_errors(9, 1.0)));
+        let t = w.dma.configure((0..4).map(seg).collect(), &cm).unwrap();
+        w.dma
+            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, out| {
+                assert!(matches!(out, DmaOutcome::Error { bytes_done } if bytes_done < 4 * 4096));
+                w.dma.fail(id);
+                w.done_at = Some(s.now().as_ns());
+            });
+        sim.run(&mut w);
+        assert!(w.done_at.is_some(), "error interrupt was delivered");
+        assert_eq!(w.dma.stats().errors, 1);
+        assert_eq!(w.dma.stats().bytes_moved, 0);
+        assert_eq!(w.dma.fault_stats().unwrap().dma_errors, 1);
+        // The chain was released; a follow-up configure succeeds (no
+        // injected exhaustion in this plan).
+        assert_eq!(w.dma.chains().busy_descriptors(), 0);
+    }
+
+    #[test]
+    fn dropped_completion_never_calls_back_until_aborted() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cm = CostModel::keystone_ii();
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = world(16);
+        let ddr = w.flows.add_resource("ddr", 6.2);
+        w.dma.install_injector(FaultInjector::new(FaultPlan {
+            seed: 1,
+            drop_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
+        let id = w
+            .dma
+            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
+                w.dma.finish(id);
+                w.done_at = Some(s.now().as_ns());
+            });
+        sim.run(&mut w);
+        assert!(w.done_at.is_none(), "completion interrupt was dropped");
+        assert_eq!(w.dma.chains().busy_descriptors(), 1, "chain still held");
+        // A watchdog-style abort reclaims the chain.
+        assert!(w.dma.abort(&mut w.flows, &mut sim, id));
+        assert_eq!(w.dma.chains().busy_descriptors(), 0);
+    }
+
+    #[test]
+    fn delayed_completion_arrives_late() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cm = CostModel::keystone_ii();
+
+        // Fault-free reference time.
+        let baseline = {
+            let mut sim: Sim<World> = Sim::new();
+            let mut w = world(16);
+            let ddr = w.flows.add_resource("ddr", 6.2);
+            let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
+            w.dma
+                .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
+                    w.dma.finish(id);
+                    w.done_at = Some(s.now().as_ns());
+                });
+            sim.run(&mut w);
+            w.done_at.unwrap()
+        };
+
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = world(16);
+        let ddr = w.flows.add_resource("ddr", 6.2);
+        w.dma.install_injector(FaultInjector::new(FaultPlan {
+            seed: 2,
+            delay_rate: 1.0,
+            max_delay: SimDuration::from_us(100),
+            ..FaultPlan::default()
+        }));
+        let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
+        w.dma
+            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
+                w.dma.finish(id);
+                w.done_at = Some(s.now().as_ns());
+            });
+        sim.run(&mut w);
+        let delayed = w.done_at.expect("delayed interrupt still arrives");
+        assert!(
+            delayed > baseline,
+            "delay pushed completion past {baseline}"
+        );
+        assert!(delayed <= baseline + 100_000, "bounded by max_delay");
+        assert_eq!(w.dma.stats().bytes_moved, 4096);
+    }
+
+    #[test]
+    fn injected_exhaustion_reports_all_busy() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let cm = CostModel::keystone_ii();
+        let mut e = DmaEngine::with_pool(64);
+        e.install_injector(FaultInjector::new(FaultPlan {
+            seed: 4,
+            desc_exhaust_rate: 1.0,
+            desc_exhaust_burst: 2,
+            ..FaultPlan::default()
+        }));
+        assert_eq!(
+            e.configure(vec![seg(0)], &cm),
+            Err(ChainError::AllBusy),
+            "pool is empty-handed despite 64 free descriptors"
+        );
+        assert!(e.fault_stats().unwrap().desc_exhaustions >= 1);
     }
 
     impl DmaEngine {

@@ -5,5 +5,5 @@ mod engine;
 mod param;
 
 pub use chain::{ChainError, ChainId, ChainManager, ChainPlan};
-pub use engine::{ConfiguredTransfer, DmaEngine, DmaStats, SgSegment, TransferId};
+pub use engine::{ConfiguredTransfer, DmaEngine, DmaOutcome, DmaStats, SgSegment, TransferId};
 pub use param::{ParamSet, NULL_LINK, NUM_PARAM_SETS, PARAM_FIELDS};

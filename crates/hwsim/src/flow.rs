@@ -98,6 +98,27 @@ impl FlowNet {
         &self.resources[r.0].name
     }
 
+    /// Current capacity of resource `r` in GB/s.
+    #[must_use]
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.0].capacity_gbps
+    }
+
+    /// Changes the capacity of resource `r` at instant `now` (a bandwidth
+    /// brownout or its recovery). Flow progress is brought up to `now`
+    /// under the old capacity first; every sharing flow then proceeds at
+    /// its new rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new capacity is not strictly positive.
+    pub fn set_capacity(&mut self, now: SimTime, r: ResourceId, capacity_gbps: f64) {
+        assert!(capacity_gbps > 0.0, "resource capacity must be positive");
+        self.advance(now);
+        self.resources[r.0].capacity_gbps = capacity_gbps;
+        self.recompute_rates();
+    }
+
     /// Starts a flow of `bytes` over `resources`, self-capped at
     /// `demand_gbps`. Progress of all flows is brought up to `now` first.
     ///
@@ -295,6 +316,18 @@ impl<W: 'static> FlowSystem<W> {
         id
     }
 
+    /// Changes a resource's capacity mid-simulation and reschedules the
+    /// completion timer: active flows slow down (brownout) or speed up
+    /// (recovery) from `sim.now()` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`FlowNet::set_capacity`].
+    pub fn set_capacity(&mut self, sim: &mut Sim<W>, r: ResourceId, capacity_gbps: f64) {
+        self.net.set_capacity(sim.now(), r, capacity_gbps);
+        self.rearm(sim);
+    }
+
     /// Cancels a flow; its completion callback is dropped unrun. Returns
     /// the unmoved bytes, or `None` if the flow had already completed.
     pub fn cancel_flow(&mut self, sim: &mut Sim<W>, id: FlowId) -> Option<u64> {
@@ -404,6 +437,20 @@ mod tests {
         assert_eq!(net.cancel(SimTime::from_ns(400), id), None);
     }
 
+    #[test]
+    fn capacity_change_rescales_progress() {
+        let mut net = FlowNet::new();
+        let ddr = net.add_resource("ddr", 2.0);
+        assert_eq!(net.capacity(ddr), 2.0);
+        net.start(SimTime::ZERO, &[ddr], 4_000, 100.0);
+        // Halve the capacity after 1000 ns (2000 bytes done).
+        net.set_capacity(SimTime::from_ns(1_000), ddr, 1.0);
+        assert_eq!(net.capacity(ddr), 1.0);
+        // Remaining 2000 bytes at 1 GB/s: completes at t=3000.
+        let eta = net.next_completion(SimTime::from_ns(1_000)).unwrap();
+        assert_eq!(eta.as_ns(), 3_000);
+    }
+
     // ---- FlowSystem / DES coupling ----
 
     struct World {
@@ -455,6 +502,35 @@ mod tests {
         );
         sim.run(&mut w);
         assert!(w.completions.is_empty());
+    }
+
+    #[test]
+    fn system_capacity_change_reschedules_timer() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World {
+            flows: FlowSystem::new(flows_of),
+            completions: Vec::new(),
+        };
+        let ddr = w.flows.add_resource("ddr", 2.0);
+        w.flows.start_flow(&mut sim, &[ddr], 4_000, 100.0, |w, s| {
+            w.completions.push((1, s.now().as_ns()));
+        });
+        // Brownout at t=1000 (half speed), recovery at t=2000.
+        sim.schedule_at(
+            SimTime::from_ns(1_000),
+            move |w: &mut World, s: &mut Sim<World>| {
+                w.flows.set_capacity(s, ddr, 1.0);
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_ns(2_000),
+            move |w: &mut World, s: &mut Sim<World>| {
+                w.flows.set_capacity(s, ddr, 2.0);
+            },
+        );
+        sim.run(&mut w);
+        // 2000 bytes by t=1000, 1000 more by t=2000, last 1000 at 2 GB/s.
+        assert_eq!(w.completions, vec![(1, 2_500)]);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod cost;
 pub mod dma;
+pub mod fault;
 pub mod flow;
 pub mod meter;
 pub mod phys;
@@ -36,6 +37,7 @@ pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use fault::{Brownout, FaultInjector, FaultPlan, FaultStats, TransferFault};
 pub use flow::{FlowId, FlowNet, FlowSystem, ResourceId};
 pub use meter::{Context, Measurement, Phase, PhaseBreakdown, UsageMeter};
 pub use phys::{PhysAddr, PhysMem};

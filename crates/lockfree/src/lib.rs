@@ -58,7 +58,7 @@ mod slot;
 
 pub use freelist::FreeList;
 pub use link::{Color, Link, SlotIndex, MAX_SLOTS, NULL_INDEX};
-pub use movreq::{MovReq, MoveKind, MoveStatus, PAYLOAD_WORDS};
+pub use movreq::{FailReason, MovReq, MoveKind, MoveStatus, PAYLOAD_WORDS};
 pub use queue::{ColorQueue, Dequeued, SetColorError};
 pub use region::{QueueId, Region, RegionError, RegionStats};
 pub use slot::Slot;

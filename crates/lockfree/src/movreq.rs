@@ -34,6 +34,24 @@ impl MoveKind {
     }
 }
 
+/// Why a request entered the [`MoveStatus::Failed`] terminal state.
+///
+/// Failures in this class originate in the *hardware path* — a DMA
+/// transfer that timed out, errored mid-flight, or could never obtain
+/// descriptors — after the driver exhausted its retry budget and the
+/// CPU-copy fallback was disabled. They are distinct from validation
+/// rejections ([`MoveStatus::Invalid`]) and race outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailReason {
+    /// The per-request watchdog expired: no completion (and no error)
+    /// arrived within the expected transfer time plus margin.
+    Timeout,
+    /// The DMA engine reported an error partway through the transfer.
+    DmaError,
+    /// The PaRAM descriptor pool stayed exhausted across every retry.
+    Descriptors,
+}
+
 /// Completion status of a move request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MoveStatus {
@@ -54,6 +72,10 @@ pub enum MoveStatus {
     Invalid,
     /// The destination node ran out of free pages mid-request.
     OutOfMemory,
+    /// The hardware path failed terminally: retries were exhausted and
+    /// no CPU-copy fallback absorbed the request. The original mapping
+    /// has been restored (migrations roll back like an abort).
+    Failed(FailReason),
 }
 
 impl MoveStatus {
@@ -65,6 +87,9 @@ impl MoveStatus {
             MoveStatus::Aborted => 3,
             MoveStatus::Invalid => 4,
             MoveStatus::OutOfMemory => 5,
+            MoveStatus::Failed(FailReason::Timeout) => 6,
+            MoveStatus::Failed(FailReason::DmaError) => 7,
+            MoveStatus::Failed(FailReason::Descriptors) => 8,
         }
     }
 
@@ -75,6 +100,9 @@ impl MoveStatus {
             3 => MoveStatus::Aborted,
             4 => MoveStatus::Invalid,
             5 => MoveStatus::OutOfMemory,
+            6 => MoveStatus::Failed(FailReason::Timeout),
+            7 => MoveStatus::Failed(FailReason::DmaError),
+            8 => MoveStatus::Failed(FailReason::Descriptors),
             _ => MoveStatus::Pending,
         }
     }
@@ -84,8 +112,18 @@ impl MoveStatus {
     pub fn is_failure(self) -> bool {
         matches!(
             self,
-            MoveStatus::Raced | MoveStatus::Aborted | MoveStatus::Invalid | MoveStatus::OutOfMemory
+            MoveStatus::Raced
+                | MoveStatus::Aborted
+                | MoveStatus::Invalid
+                | MoveStatus::OutOfMemory
+                | MoveStatus::Failed(_)
         )
+    }
+
+    /// True for any terminal state (the request will never change again).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self != MoveStatus::Pending
     }
 }
 
@@ -241,6 +279,28 @@ mod tests {
         assert!(MoveStatus::Aborted.is_failure());
         assert!(MoveStatus::Invalid.is_failure());
         assert!(MoveStatus::OutOfMemory.is_failure());
+        assert!(MoveStatus::Failed(FailReason::Timeout).is_failure());
+        assert!(MoveStatus::Failed(FailReason::DmaError).is_failure());
+        assert!(MoveStatus::Failed(FailReason::Descriptors).is_failure());
+        assert!(!MoveStatus::Pending.is_terminal());
+        assert!(MoveStatus::Done.is_terminal());
+        assert!(MoveStatus::Failed(FailReason::Timeout).is_terminal());
+    }
+
+    #[test]
+    fn failed_status_roundtrips_through_words() {
+        for reason in [
+            FailReason::Timeout,
+            FailReason::DmaError,
+            FailReason::Descriptors,
+        ] {
+            let req = MovReq {
+                id: 7,
+                status: MoveStatus::Failed(reason),
+                ..MovReq::default()
+            };
+            assert_eq!(MovReq::from_words(&req.to_words()), req);
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The stress tests only use `crossbeam::scope(|s| s.spawn(...))`;
+//! since Rust 1.63 the standard library's `std::thread::scope` covers
+//! that, so this vendored shim adapts the crossbeam calling convention
+//! (spawn closures receive the scope, `scope` returns a `Result`) to
+//! the std implementation.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// A joinable handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, `Err` on panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the boxed panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope so it
+    /// can spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// this returns. Panics in unjoined children propagate, so the `Ok`
+/// wrapper mirrors crossbeam's API without a separate error path.
+///
+/// # Errors
+///
+/// Never returns `Err`; the `Result` exists for crossbeam
+/// call-compatibility (callers `.unwrap()` it).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let counter = AtomicU64::new(0);
+        let sum = super::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports
+//! the no-op derives so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` compile without the real
+//! crate. No serialization machinery exists — nothing in this
+//! workspace serializes values at run time.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
