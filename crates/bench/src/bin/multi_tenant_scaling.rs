@@ -97,7 +97,9 @@ fn run(tenants: usize) -> (Vec<f64>, f64, f64) {
         }
         if t.borrow().completed < REQUESTS {
             let t2 = Rc::clone(&t);
-            memif.poll(sys, sim, move |sys, sim| pump(t2, sys, sim));
+            memif
+                .poll(sys, sim, move |sys, sim| pump(t2, sys, sim))
+                .expect("tenant device open for the run");
         }
     }
 

@@ -263,6 +263,79 @@ pub fn stream_memif_with_faults(
     window: usize,
     faults: Option<memif::FaultPlan>,
 ) -> StreamResult {
+    run_stream(
+        cost,
+        memif_config,
+        kind,
+        page_size,
+        pages,
+        count,
+        window,
+        faults,
+        false,
+    )
+    .result
+}
+
+/// A streaming run captured in full: the [`StreamResult`], the typed
+/// event log (one JSON record per dispatched event, in execution order),
+/// and each request's terminal status in completion order. Two runs of
+/// the same scenario — same cost model, config, shape, and fault plan —
+/// produce byte-identical logs; `memifctl` builds its trace dump and
+/// replay check on this.
+#[derive(Debug, Clone)]
+pub struct LoggedStream {
+    /// The measurements, as from [`stream_memif_with_faults`].
+    pub result: StreamResult,
+    /// JSON-lines event log of the whole run.
+    pub events: Vec<String>,
+    /// `(req_id, terminal MoveStatus)` per request, completion order.
+    pub statuses: Vec<(u64, String)>,
+}
+
+/// [`stream_memif_with_faults`] with the typed event log enabled.
+///
+/// # Panics
+///
+/// Panics if any request fails while no fault plan is installed, or if
+/// any request never completes.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn stream_memif_logged(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+    faults: Option<memif::FaultPlan>,
+) -> LoggedStream {
+    run_stream(
+        cost,
+        memif_config,
+        kind,
+        page_size,
+        pages,
+        count,
+        window,
+        faults,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+    faults: Option<memif::FaultPlan>,
+    log_events: bool,
+) -> LoggedStream {
     struct State {
         memif: Memif,
         kind: ShapeKind,
@@ -280,6 +353,9 @@ pub fn stream_memif_with_faults(
     }
 
     let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    if log_events {
+        sys.enable_event_log();
+    }
     let mut sim = Sim::new();
     let space = sys.new_space();
     let memif = Memif::open(&mut sys, space, memif_config).unwrap();
@@ -377,7 +453,9 @@ pub fn stream_memif_with_faults(
             submit_next(&state, sys, sim);
         }
         let st2 = Rc::clone(&state);
-        memif.poll(sys, sim, move |sys, sim| pump(st2, sys, sim));
+        memif
+            .poll(sys, sim, move |sys, sim| pump(st2, sys, sim))
+            .expect("bench device open");
     }
 
     for _ in 0..window {
@@ -392,7 +470,12 @@ pub fn stream_memif_with_faults(
     let wall = finished.since(t0);
     let bytes = u64::from(pages) * page_size.bytes() * count as u64;
     let dev = sys.device(st.memif.device()).unwrap();
-    StreamResult {
+    let statuses = dev
+        .log
+        .iter()
+        .map(|r| (r.req_id, format!("{:?}", r.status)))
+        .collect();
+    let result = StreamResult {
         requests: count,
         bytes,
         wall,
@@ -407,6 +490,12 @@ pub fn stream_memif_with_faults(
         timeouts: dev.stats.timeouts,
         dma_errors: dev.stats.dma_errors,
         failed: st.failed,
+    };
+    drop(st);
+    LoggedStream {
+        result,
+        events: sys.take_event_log(),
+        statuses,
     }
 }
 

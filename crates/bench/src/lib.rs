@@ -28,6 +28,6 @@ pub mod table;
 
 pub use harness::{
     bigfast_topology, probe_linux_once, probe_memif_once, stream_linux, stream_memif,
-    stream_memif_with_faults, ProbeResult, StreamResult,
+    stream_memif_logged, stream_memif_with_faults, LoggedStream, ProbeResult, StreamResult,
 };
 pub use table::{mbs, results_dir, Table};

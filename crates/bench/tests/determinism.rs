@@ -1,0 +1,178 @@
+//! Determinism guarantees for the typed event core.
+//!
+//! The refactor from opaque closures to typed [`memif::SimEvent`]s is
+//! only safe if the simulation stays bit-deterministic: the same seed
+//! and fault plan must produce the same event stream, and the default
+//! single-controller configuration must reproduce the pre-refactor
+//! figures exactly. These tests pin both properties.
+
+use memif::{FaultPlan, MemifConfig};
+use memif_bench::{stream_memif, stream_memif_logged};
+use memif_hwsim::CostModel;
+use memif_mm::PageSize;
+use memif_workloads::ShapeKind;
+use proptest::prelude::*;
+
+const PAGE: PageSize = PageSize::Small4K;
+const PAGES: u32 = 64;
+const WINDOW: usize = 8;
+const COUNT: usize = 24;
+
+fn chaos_plan(seed: u64, error: f64, drop: f64, delay: f64) -> FaultPlan {
+    FaultPlan {
+        dma_error_rate: error,
+        drop_rate: drop,
+        delay_rate: delay,
+        ..FaultPlan::new(seed)
+    }
+}
+
+proptest! {
+    // Each case replays a faulted stream twice from scratch; keep the
+    // case count small so the suite stays in tier-2 smoke territory.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed + same fault plan ⇒ byte-identical event logs and
+    /// terminal statuses, for any fault mix the generator produces.
+    #[test]
+    fn same_seed_same_event_log(
+        seed in 0u64..1_000,
+        error_ppm in 0u32..50_000,
+        drop_ppm in 0u32..10_000,
+        delay_ppm in 0u32..20_000,
+        kind_sel in 0u32..2,
+    ) {
+        let kind = if kind_sel == 1 { ShapeKind::Migrate } else { ShapeKind::Replicate };
+        let plan = chaos_plan(
+            seed,
+            f64::from(error_ppm) * 1e-6,
+            f64::from(drop_ppm) * 1e-6,
+            f64::from(delay_ppm) * 1e-6,
+        );
+        let cost = CostModel::keystone_ii();
+        let a = stream_memif_logged(
+            &cost, MemifConfig::default(), kind, PAGE, PAGES, COUNT, WINDOW,
+            Some(plan.clone()),
+        );
+        let b = stream_memif_logged(
+            &cost, MemifConfig::default(), kind, PAGE, PAGES, COUNT, WINDOW,
+            Some(plan),
+        );
+        prop_assert_eq!(&a.events, &b.events, "event logs diverged");
+        prop_assert_eq!(&a.statuses, &b.statuses, "terminal statuses diverged");
+        prop_assert!(!a.events.is_empty(), "event log must record the run");
+    }
+}
+
+/// `dma_tc_count = 1` (the explicit value) behaves byte-for-byte like
+/// the default cost model: the multi-TC scheduler is invisible until
+/// more channels are configured.
+#[test]
+fn explicit_tc1_matches_default() {
+    let default_cost = CostModel::keystone_ii();
+    let mut explicit = CostModel::keystone_ii();
+    explicit.dma_tc_count = 1;
+    let plan = || Some(chaos_plan(7, 1e-2, 1e-3, 1e-3));
+    let a = stream_memif_logged(
+        &default_cost,
+        MemifConfig::default(),
+        ShapeKind::Migrate,
+        PAGE,
+        PAGES,
+        COUNT,
+        WINDOW,
+        plan(),
+    );
+    let b = stream_memif_logged(
+        &explicit,
+        MemifConfig::default(),
+        ShapeKind::Migrate,
+        PAGE,
+        PAGES,
+        COUNT,
+        WINDOW,
+        plan(),
+    );
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.statuses, b.statuses);
+}
+
+/// Golden pin: the fault-free single-TC replication figure from the
+/// pre-refactor scheduler, to the nanosecond. If this moves, the typed
+/// event core changed simulated behaviour, not just representation.
+#[test]
+fn golden_single_tc_figures() {
+    let cost = CostModel::keystone_ii();
+    let run = stream_memif(
+        &cost,
+        MemifConfig::default(),
+        ShapeKind::Replicate,
+        PAGE,
+        PAGES,
+        COUNT,
+        WINDOW,
+    );
+    assert_eq!(run.requests, COUNT);
+    assert_eq!(run.bytes, u64::from(PAGES) * PAGE.bytes() * COUNT as u64);
+    assert_eq!(run.failed, 0);
+    assert_eq!(run.wall.as_ns(), GOLDEN_WALL_NS, "wall clock drifted");
+}
+
+/// Pinned against the pre-refactor closure scheduler (same inputs);
+/// re-pin with `cargo test -p memif-bench print_golden_probe -- --ignored --nocapture`.
+const GOLDEN_WALL_NS: u64 = 3_493_595;
+
+#[test]
+#[ignore]
+fn print_golden_probe() {
+    let cost = CostModel::keystone_ii();
+    let run = stream_memif(
+        &cost,
+        MemifConfig::default(),
+        ShapeKind::Replicate,
+        PAGE,
+        PAGES,
+        COUNT,
+        WINDOW,
+    );
+    println!(
+        "wall_ns={} gbps={:.6}",
+        run.wall.as_ns(),
+        run.throughput_gbps
+    );
+}
+
+/// Four transfer controllers must beat one on aggregate DMA throughput
+/// for a deep window of large requests — the whole point of multi-TC
+/// dispatch.
+#[test]
+fn four_tcs_outrun_one() {
+    let one = CostModel::keystone_ii();
+    let mut four = CostModel::keystone_ii();
+    four.dma_tc_count = 4;
+    let pages = 256;
+    let a = stream_memif(
+        &one,
+        MemifConfig::default(),
+        ShapeKind::Replicate,
+        PAGE,
+        pages,
+        COUNT,
+        WINDOW,
+    );
+    let b = stream_memif(
+        &four,
+        MemifConfig::default(),
+        ShapeKind::Replicate,
+        PAGE,
+        pages,
+        COUNT,
+        WINDOW,
+    );
+    assert!(
+        b.throughput_gbps > a.throughput_gbps * 1.05,
+        "4 TCs ({:.3} GB/s) should clearly beat 1 TC ({:.3} GB/s)",
+        b.throughput_gbps,
+        a.throughput_gbps
+    );
+}

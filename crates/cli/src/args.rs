@@ -34,6 +34,16 @@ impl Args {
         Ok(args)
     }
 
+    /// Builds an `Args` from pre-parsed `key=value` pairs — the replay
+    /// path reconstructs the original command line from a trace header.
+    #[must_use]
+    pub fn from_pairs(command: &str, pairs: impl IntoIterator<Item = (String, String)>) -> Args {
+        Args {
+            command: Some(command.to_owned()),
+            opts: pairs.into_iter().collect(),
+        }
+    }
+
     /// String option.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&str> {

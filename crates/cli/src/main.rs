@@ -7,7 +7,8 @@
 //!                   [--page-size 4k] [--window 8] [--no-reuse true] [--no-gang true]
 //!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
 //!                   [--delay-rate R] [--desc-exhaust-rate R] [--max-retries N]
-//!                   [--no-fallback true]
+//!                   [--no-fallback true] [--tc-count N] [--trace-events PATH]
+//! memifctl replay   --from PATH
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
 //!                   [--input-mib 64]
 //! memifctl timeline [--pages 16] [--count 2]
@@ -32,6 +33,7 @@ fn main() {
         Some("topology") => topology(&args),
         Some("migspeed") => migspeed(&args),
         Some("move") => do_move(&args),
+        Some("replay") => replay(&args),
         Some("stream") => stream(&args),
         Some("timeline") => timeline(&args),
         Some("help") | None => {
@@ -52,6 +54,7 @@ commands:
   topology   show the pseudo-NUMA memory topology
   migspeed   Linux page-migration throughput (the numactl utility)
   move       stream memif move requests and report throughput/latency
+  replay     re-run a recorded trace and verify it is bit-identical
   stream     run a Table 4 streaming workload on the mini runtime
   timeline   trace a short run across the driver's execution contexts
   help       this text
@@ -64,6 +67,17 @@ hardened driver absorb it, e.g.
 flags: --fault-seed N, --dma-error-rate R, --drop-rate R, --delay-rate R,
 --desc-exhaust-rate R, --max-retries N (default 3), --no-fallback true
 (fail requests instead of degrading to the CPU copy).
+
+multi-channel DMA (move): --tc-count N models N independent transfer-
+controller bandwidth channels (default 1, the paper's configuration);
+launches are routed to the least-loaded channel.
+
+event traces (move): --trace-events <path> records the run's typed
+event log as JSON lines (one `#!` header, one `#=` terminal-status line
+per request). `memifctl replay --from <path>` re-runs the scenario from
+the header and verifies every event and terminal status byte-for-byte:
+  memifctl move --fault-seed 7 --dma-error-rate 1e-3 --trace-events t.jsonl
+  memifctl replay --from t.jsonl
 
 run `memifctl <command>` with defaults to see each report.
 ";
@@ -151,8 +165,22 @@ fn migspeed(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn do_move(args: &Args) -> Result<(), String> {
-    let cost = cost_profile(args)?;
+/// Everything a `move` run (or its replay) needs, resolved from flags
+/// or from a trace header.
+struct MoveScenario {
+    cost: memif_hwsim::CostModel,
+    config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+    plan: Option<memif::FaultPlan>,
+}
+
+fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
+    let mut cost = cost_profile(args)?;
+    cost.dma_tc_count = args.get_or("tc-count", cost.dma_tc_count)?;
     let kind = match args.get("kind") {
         None | Some("migrate") => ShapeKind::Migrate,
         Some("replicate") => ShapeKind::Replicate,
@@ -166,11 +194,6 @@ fn do_move(args: &Args) -> Result<(), String> {
         cpu_fallback: !args.get_or("no-fallback", false)?,
         ..MemifConfig::default()
     };
-    let pages = args.get_or("pages", 16u32)?;
-    let count = args.get_or("count", 64usize)?;
-    let window = args.get_or("window", 8usize)?;
-    let page_size = args.page_size(PageSize::Small4K)?;
-
     let plan = memif::FaultPlan {
         seed: args.get_or("fault-seed", 0u64)?,
         dma_error_rate: args.get_or("dma-error-rate", 0.0f64)?,
@@ -179,18 +202,102 @@ fn do_move(args: &Args) -> Result<(), String> {
         desc_exhaust_rate: args.get_or("desc-exhaust-rate", 0.0f64)?,
         ..memif::FaultPlan::default()
     };
-    let chaos = !plan.is_noop();
-
-    let r = stream_memif_with_faults(
-        &cost,
+    Ok(MoveScenario {
+        cost,
         config,
         kind,
-        page_size,
-        pages,
-        count,
-        window,
-        chaos.then_some(plan),
-    );
+        page_size: args.page_size(PageSize::Small4K)?,
+        pages: args.get_or("pages", 16u32)?,
+        count: args.get_or("count", 64usize)?,
+        window: args.get_or("window", 8usize)?,
+        plan: (!plan.is_noop()).then_some(plan),
+    })
+}
+
+/// The `#!` trace header: every flag replay needs to rebuild the run.
+fn trace_header(args: &Args, s: &MoveScenario) -> String {
+    let plan = s.plan.clone().unwrap_or_default();
+    format!(
+        "#! move kind={} page-size={} pages={} count={} window={} depth={} max-retries={} \
+         no-fallback={} no-reuse={} no-gang={} profile={} tc-count={} fault-seed={} \
+         dma-error-rate={} drop-rate={} delay-rate={} desc-exhaust-rate={}",
+        match s.kind {
+            ShapeKind::Migrate => "migrate",
+            ShapeKind::Replicate => "replicate",
+        },
+        match s.page_size {
+            PageSize::Small4K => "4k",
+            PageSize::Medium64K => "64k",
+            PageSize::Large2M => "2m",
+        },
+        s.pages,
+        s.count,
+        s.window,
+        s.config.pipeline_depth,
+        s.config.max_dma_retries,
+        !s.config.cpu_fallback,
+        !s.config.descriptor_reuse,
+        !s.config.gang_lookup,
+        args.get("profile").unwrap_or("keystone"),
+        s.cost.dma_tc_count,
+        plan.seed,
+        plan.dma_error_rate,
+        plan.drop_rate,
+        plan.delay_rate,
+        plan.desc_exhaust_rate,
+    )
+}
+
+fn run_logged(s: &MoveScenario) -> memif_bench::LoggedStream {
+    memif_bench::stream_memif_logged(
+        &s.cost,
+        s.config.clone(),
+        s.kind,
+        s.page_size,
+        s.pages,
+        s.count,
+        s.window,
+        s.plan.clone(),
+    )
+}
+
+fn do_move(args: &Args) -> Result<(), String> {
+    let s = move_scenario(args)?;
+    let chaos = s.plan.is_some();
+    let (kind, pages, count) = (s.kind, s.pages, s.count);
+    let page_size = s.page_size;
+
+    let r = if let Some(path) = args.get("trace-events") {
+        let logged = run_logged(&s);
+        let mut out = String::new();
+        out.push_str(&trace_header(args, &s));
+        out.push('\n');
+        for line in &logged.events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for (req, status) in &logged.statuses {
+            out.push_str(&format!("#= {req} {status}\n"));
+        }
+        std::fs::write(path, out).map_err(|e| format!("--trace-events: {path}: {e}"))?;
+        println!(
+            "trace: {} events + {} terminal statuses -> {path}",
+            logged.events.len(),
+            logged.statuses.len()
+        );
+        logged.result
+    } else {
+        stream_memif_with_faults(
+            &s.cost,
+            s.config,
+            s.kind,
+            s.page_size,
+            s.pages,
+            s.count,
+            s.window,
+            s.plan,
+        )
+    };
     let mean_us = r
         .completion_times
         .iter()
@@ -212,6 +319,73 @@ fn do_move(args: &Args) -> Result<(), String> {
             r.retries, r.timeouts, r.dma_errors, r.fallbacks, r.failed
         );
     }
+    Ok(())
+}
+
+/// Re-runs a `--trace-events` recording and verifies the new run is
+/// byte-identical: same event log, same terminal status per request.
+fn replay(args: &Args) -> Result<(), String> {
+    let path = args.get("from").ok_or("replay needs --from <path>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--from: {path}: {e}"))?;
+
+    let mut header = None;
+    let mut events = Vec::new();
+    let mut statuses = Vec::new();
+    for line in text.lines() {
+        if let Some(h) = line.strip_prefix("#! ") {
+            header = Some(h.to_owned());
+        } else if let Some(s) = line.strip_prefix("#= ") {
+            let (req, status) = s
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed status line '{line}'"))?;
+            let req: u64 = req
+                .parse()
+                .map_err(|_| format!("malformed request id in '{line}'"))?;
+            statuses.push((req, status.to_owned()));
+        } else if !line.is_empty() {
+            events.push(line.to_owned());
+        }
+    }
+    let header = header.ok_or("trace has no '#!' header line")?;
+    let (cmd, flags) = header.split_once(' ').unwrap_or((header.as_str(), ""));
+    if cmd != "move" {
+        return Err(format!("cannot replay '{cmd}' traces"));
+    }
+    let pairs: Vec<(String, String)> = flags
+        .split_whitespace()
+        .map(|kv| {
+            kv.split_once('=')
+                .map(|(k, v)| (k.to_owned(), v.to_owned()))
+                .ok_or_else(|| format!("malformed header token '{kv}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    let scenario = move_scenario(&Args::from_pairs("move", pairs))?;
+
+    let logged = run_logged(&scenario);
+    if logged.events != events {
+        let n = logged
+            .events
+            .iter()
+            .zip(&events)
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Err(format!(
+            "event log diverges at record {n}:\n  recorded: {}\n  replayed: {}",
+            events.get(n).map_or("<end of log>", String::as_str),
+            logged.events.get(n).map_or("<end of log>", String::as_str),
+        ));
+    }
+    if logged.statuses != statuses {
+        return Err(format!(
+            "terminal statuses diverge:\n  recorded: {statuses:?}\n  replayed: {:?}",
+            logged.statuses
+        ));
+    }
+    println!(
+        "replay OK: {} events and {} terminal statuses identical ({path})",
+        events.len(),
+        statuses.len()
+    );
     Ok(())
 }
 

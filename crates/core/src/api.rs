@@ -33,8 +33,9 @@ use memif_mm::{AccessKind, Fault, PageSize, VirtAddr};
 
 use crate::config::MemifConfig;
 use crate::device::DeviceId;
-use crate::driver::{self, dev, dev_mut};
+use crate::driver::{self, dev};
 use crate::error::MemifError;
+use crate::event::SimEvent;
 use crate::system::{SpaceId, System};
 
 /// Identifier the application uses to correlate completions.
@@ -213,7 +214,8 @@ impl Memif {
     ///
     /// # Errors
     ///
-    /// [`MemifError::Exhausted`] when all request slots are in flight.
+    /// [`MemifError::Exhausted`] when all request slots are in flight,
+    /// [`MemifError::NoSuchDevice`] if the instance has been closed.
     /// Semantic errors (bad ranges, unknown nodes) are reported
     /// asynchronously through the completion queue, as in the paper.
     pub fn submit(
@@ -222,7 +224,9 @@ impl Memif {
         sim: &mut Sim<System>,
         spec: MoveSpec,
     ) -> Result<(ReqId, SimDuration), MemifError> {
-        let device = dev_mut(sys, self.device);
+        let device = sys
+            .device_mut(self.device)
+            .ok_or(MemifError::NoSuchDevice)?;
         let slot = device.region.alloc_slot()?;
         let id = device.next_req_id;
         device.next_req_id += 1;
@@ -279,9 +283,10 @@ impl Memif {
     ///
     /// # Errors
     ///
-    /// Region-validation failures (not expected in normal operation).
+    /// [`MemifError::NoSuchDevice`] if the instance has been closed;
+    /// region-validation failures (not expected in normal operation).
     pub fn retrieve_completed(&self, sys: &mut System) -> Result<Option<Completion>, MemifError> {
-        let device = dev(sys, self.device);
+        let device = sys.device(self.device).ok_or(MemifError::NoSuchDevice)?;
         let deq = match device.region.dequeue(QueueId::CompletionErr)? {
             Some(d) => Some(d),
             None => device.region.dequeue(QueueId::CompletionOk)?,
@@ -306,20 +311,42 @@ impl Memif {
     /// available — immediately if one is already queued, otherwise when
     /// the driver posts the next notification. The application sleeps in
     /// between, burning no CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`MemifError::NoSuchDevice`] if the instance has been closed.
     pub fn poll(
         &self,
         sys: &mut System,
         sim: &mut Sim<System>,
         waker: impl FnOnce(&mut System, &mut Sim<System>) + 'static,
-    ) {
-        let device = dev(sys, self.device);
+    ) -> Result<(), MemifError> {
+        self.poll_event(sys, sim, SimEvent::call(waker))
+    }
+
+    /// Event-valued `poll()`: schedules `event` when a completion is (or
+    /// becomes) available. This is the typed form [`poll`](Self::poll)
+    /// wraps; use it directly to keep the event log free of opaque
+    /// thunks.
+    ///
+    /// # Errors
+    ///
+    /// [`MemifError::NoSuchDevice`] if the instance has been closed.
+    pub fn poll_event(
+        &self,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        event: SimEvent,
+    ) -> Result<(), MemifError> {
+        let device = sys.device(self.device).ok_or(MemifError::NoSuchDevice)?;
         let ready = !device.region.is_empty(QueueId::CompletionErr)
             || !device.region.is_empty(QueueId::CompletionOk);
         if ready {
-            sim.schedule_after(sys.cost.queue_op, waker);
-        } else {
-            dev_mut(sys, self.device).pollers.push(Box::new(waker));
+            sim.schedule_after(sys.cost.queue_op, event);
+        } else if let Some(device) = sys.device_mut(self.device) {
+            device.pollers.push(event);
         }
+        Ok(())
     }
 }
 
@@ -344,24 +371,29 @@ impl Memif {
 /// poll_any(&mut sys, &mut sim, &[a, b], move |sys, _sim, ready| {
 ///     assert_eq!(ready.device(), b.device());
 ///     assert!(ready.retrieve_completed(sys).unwrap().unwrap().status.is_ok());
-/// });
+/// }).unwrap();
 /// sim.run(&mut sys);
 /// ```
+///
+/// # Errors
+///
+/// [`MemifError::NoSuchDevice`] if any handle's instance has been
+/// closed.
 pub fn poll_any(
     sys: &mut System,
     sim: &mut Sim<System>,
     handles: &[Memif],
     waker: impl FnOnce(&mut System, &mut Sim<System>, Memif) + 'static,
-) {
+) -> Result<(), MemifError> {
     use memif_lockfree::QueueId as Q;
     // Fast path: something is already queued.
     for h in handles {
-        let device = dev(sys, h.device());
+        let device = sys.device(h.device()).ok_or(MemifError::NoSuchDevice)?;
         if !device.region.is_empty(Q::CompletionErr) || !device.region.is_empty(Q::CompletionOk) {
             let h = *h;
             let cost = sys.cost.queue_op;
-            sim.schedule_after(cost, move |sys: &mut System, sim| waker(sys, sim, h));
-            return;
+            sim.schedule_after(cost, SimEvent::call(move |sys, sim| waker(sys, sim, h)));
+            return Ok(());
         }
     }
     // Register a shared one-shot waker with every instance; whichever
@@ -376,8 +408,9 @@ pub fn poll_any(
             if let Some(w) = cell.borrow_mut().take() {
                 w(sys, sim, h);
             }
-        });
+        })?;
     }
+    Ok(())
 }
 
 impl System {

@@ -8,12 +8,13 @@
 use std::collections::HashMap;
 
 use memif_hwsim::dma::TransferId;
-use memif_hwsim::{EventFn, PhaseBreakdown, PhysAddr, SimTime};
+use memif_hwsim::{PhaseBreakdown, PhysAddr, SimTime};
 use memif_lockfree::{MovReq, MoveKind, MoveStatus, Region};
 use memif_mm::{PageSize, Pte, VirtAddr};
 
 use crate::config::MemifConfig;
 use crate::error::MemifError;
+use crate::event::SimEvent;
 use crate::system::{SpaceId, System};
 
 /// Handle to an open memif device.
@@ -113,6 +114,10 @@ pub(crate) struct Inflight {
     pub slot: memif_lockfree::SlotIndex,
     /// Set once the DMA transfer is launched.
     pub transfer: Option<TransferId>,
+    /// The transfer-controller channel the launch was admitted onto.
+    /// Taken (exactly once) at the release point, so every terminal
+    /// path frees the controller slot without double-releasing.
+    pub tc: Option<usize>,
     /// The programmed transfer, consumed at launch time.
     pub cfg: Option<memif_hwsim::dma::ConfiguredTransfer>,
     pub segments: Vec<memif_hwsim::dma::SgSegment>,
@@ -154,7 +159,7 @@ pub struct MemifDevice {
     pub(crate) next_req_id: u64,
     pub(crate) next_token: u64,
     pub(crate) submit_times: HashMap<u64, SimTime>,
-    pub(crate) pollers: Vec<EventFn<System>>,
+    pub(crate) pollers: Vec<SimEvent>,
 }
 
 impl std::fmt::Debug for MemifDevice {

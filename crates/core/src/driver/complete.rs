@@ -7,7 +7,8 @@ use memif_lockfree::{FailReason, MovReq, MoveStatus, QueueId, SlotIndex};
 
 use crate::config::RaceMode;
 use crate::device::{CompletionRecord, DeviceId, Inflight};
-use crate::driver::{dev, dev_mut, kthread};
+use crate::driver::{dev, dev_mut};
+use crate::event::SimEvent;
 use crate::system::System;
 
 /// Runs when the DMA engine finishes (or errors out) a device's
@@ -30,9 +31,15 @@ pub(crate) fn on_dma_complete(
     if let DmaOutcome::Error { .. } = outcome {
         // Error interrupt: the engine faulted mid-transfer. The partial
         // destination bytes are untrusted and discarded; retire this
-        // attempt and route the request into the retry machinery.
-        sys.dma.fail(transfer);
-        crate::driver::exec::release_tc(sys, sim);
+        // attempt and route the request into the retry machinery. The
+        // controller slot is released exactly once: only if the engine
+        // still held the transfer (complete returns true).
+        let held_tc = dev_mut(sys, id).inflight[index].tc.take();
+        if sys.dma.complete(transfer, outcome) {
+            if let Some(tc) = held_tc {
+                crate::driver::exec::release_tc(sys, sim, tc);
+            }
+        }
         let irq_cost = sys.cost.interrupt;
         sys.meter.charge(Context::Interrupt, irq_cost);
         let (token, req_id) = {
@@ -57,8 +64,12 @@ pub(crate) fn on_dma_complete(
     for seg in &segments {
         sys.phys.copy(seg.src, seg.dst, seg.bytes);
     }
-    sys.dma.finish(transfer);
-    crate::driver::exec::release_tc(sys, sim);
+    let held_tc = dev_mut(sys, id).inflight[index].tc.take();
+    if sys.dma.complete(transfer, outcome) {
+        if let Some(tc) = held_tc {
+            crate::driver::exec::release_tc(sys, sim, tc);
+        }
+    }
 
     // The request stays registered (so a trapping write can still find
     // and abort it) until the Release event actually runs; it is pulled
@@ -91,25 +102,7 @@ pub(crate) fn on_dma_complete(
             "interrupt entry",
             Some(req_id),
         );
-        sim.schedule_after(irq_cost, move |sys: &mut System, sim| {
-            let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
-                return; // aborted in the completion window
-            };
-            let inflight = dev_mut(sys, id).inflight.remove(index);
-            let release_cost = release_and_notify(sys, sim, id, inflight, Context::Interrupt);
-            sys.trace_emit(
-                sim.now(),
-                release_cost,
-                Context::Interrupt,
-                "ops 4-5: release+notify",
-                Some(req_id),
-            );
-            let wakeup = sys.cost.kthread_wakeup;
-            sys.meter.charge(Context::KernelThread, wakeup);
-            sim.schedule_after(release_cost + wakeup, move |sys: &mut System, sim| {
-                kthread::run(sys, sim, id);
-            });
-        });
+        sim.schedule_after(irq_cost, SimEvent::IrqRelease { device: id, token });
     } else {
         // Polling path: the kernel thread slept through the (short)
         // transfer and wakes right about now from its timed sleep — no
@@ -133,28 +126,58 @@ pub(crate) fn on_dma_complete(
             Some(req_id),
         );
         dev_mut(sys, id).kthread_busy_until = ready_at;
-        sim.schedule_at(ready_at, move |sys: &mut System, sim| {
-            let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
-                return; // aborted in the completion window
-            };
-            let inflight = dev_mut(sys, id).inflight.remove(index);
-            let release_cost = release_and_notify(sys, sim, id, inflight, Context::KernelThread);
-            sys.trace_emit(
-                sim.now(),
-                release_cost,
-                Context::KernelThread,
-                "ops 4-5: release+notify",
-                Some(req_id),
-            );
-            // Release/Notify occupies the worker's CPU.
-            let busy_until = sim.now() + release_cost;
-            let device = dev_mut(sys, id);
-            device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
-            sim.schedule_after(release_cost, move |sys: &mut System, sim| {
-                kthread::run(sys, sim, id);
-            });
-        });
+        sim.schedule_at(ready_at, SimEvent::PollRelease { device: id, token });
     }
+}
+
+/// Release + Notify on the interrupt path, after the interrupt entry
+/// cost has been paid ([`SimEvent::IrqRelease`]).
+pub(crate) fn irq_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId, token: u64) {
+    if sys.device(id).is_none() {
+        return;
+    }
+    let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+        return; // aborted in the completion window
+    };
+    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let req_id = inflight.req.id;
+    let release_cost = release_and_notify(sys, sim, id, inflight, Context::Interrupt);
+    sys.trace_emit(
+        sim.now(),
+        release_cost,
+        Context::Interrupt,
+        "ops 4-5: release+notify",
+        Some(req_id),
+    );
+    let wakeup = sys.cost.kthread_wakeup;
+    sys.meter.charge(Context::KernelThread, wakeup);
+    sim.schedule_after(release_cost + wakeup, SimEvent::KthreadRun { device: id });
+}
+
+/// Release + Notify on the polling path, once the worker's CPU frees
+/// up ([`SimEvent::PollRelease`]).
+pub(crate) fn poll_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId, token: u64) {
+    if sys.device(id).is_none() {
+        return;
+    }
+    let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+        return; // aborted in the completion window
+    };
+    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let req_id = inflight.req.id;
+    let release_cost = release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+    sys.trace_emit(
+        sim.now(),
+        release_cost,
+        Context::KernelThread,
+        "ops 4-5: release+notify",
+        Some(req_id),
+    );
+    // Release/Notify occupies the worker's CPU.
+    let busy_until = sim.now() + release_cost;
+    let device = dev_mut(sys, id);
+    device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
+    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id });
 }
 
 /// Op 4 + Op 5 for one completed request. Returns the CPU cost.

@@ -2,13 +2,14 @@
 //! launch.
 
 use memif_hwsim::dma::SgSegment;
-use memif_hwsim::{Context, Phase, SimDuration};
+use memif_hwsim::{CompletionDelivery, Context, Phase, SimDuration};
 use memif_lockfree::{Dequeued, FailReason, MovReq, MoveKind, MoveStatus};
 use memif_mm::{PageSize, Pte, VirtAddr};
 
 use crate::config::RaceMode;
 use crate::device::{DeviceId, Inflight, PagePlan};
-use crate::driver::{complete, dev, dev_mut, fault, kthread};
+use crate::driver::{complete, dev, dev_mut, fault};
+use crate::event::SimEvent;
 use crate::system::System;
 
 /// What happened to a request handed to the driver.
@@ -43,7 +44,7 @@ pub(crate) fn execute_request(
 /// [`execute_request`] with an attempt budget carried across descriptor-
 /// exhaustion retries. On the fault-free path the attempt counter stays
 /// zero and the retry loop is unbounded, exactly as before hardening.
-fn execute_attempt(
+pub(crate) fn execute_attempt(
     sys: &mut System,
     sim: &mut memif_hwsim::Sim<System>,
     id: DeviceId,
@@ -93,9 +94,14 @@ fn execute_attempt(
                 // it back and fail it — never drop it silently.
                 if fallback {
                     let token = register_inflight(sys, id, req, &deq, None, plan, false, attempt);
-                    sim.schedule_after(elapsed, move |sys: &mut System, sim| {
-                        degrade_or_fail(sys, sim, id, token, FailReason::Descriptors);
-                    });
+                    sim.schedule_after(
+                        elapsed,
+                        SimEvent::DegradeOrFail {
+                            device: id,
+                            token,
+                            reason: FailReason::Descriptors,
+                        },
+                    );
                     return (elapsed, ExecOutcome::Launched);
                 }
                 undo_remap(sys, id, &plan);
@@ -116,20 +122,23 @@ fn execute_attempt(
             // backoff; under chaos the backoff doubles per attempt and
             // the budget above bounds it.
             undo_remap(sys, id, &plan);
-            let retry = Dequeued {
-                slot: deq.slot,
-                req,
-                color: deq.color,
-            };
             let (backoff, next_attempt) = if chaos {
                 dev_mut(sys, id).stats.retries += 1;
                 (base_backoff * (1u64 << attempt.min(16)), attempt + 1)
             } else {
                 (base_backoff, 0)
             };
-            sim.schedule_after(backoff, move |sys: &mut System, sim| {
-                let _ = execute_attempt(sys, sim, id, retry, ctx, next_attempt);
-            });
+            sim.schedule_after(
+                backoff,
+                SimEvent::ExecRetry {
+                    device: id,
+                    slot: deq.slot,
+                    req,
+                    color: deq.color,
+                    ctx,
+                    attempt: next_attempt,
+                },
+            );
             return (elapsed, ExecOutcome::Launched);
         }
         Err(
@@ -165,9 +174,7 @@ fn execute_attempt(
         Some(req.id),
     );
     // The transfer begins once the CPU-side work above has elapsed.
-    sim.schedule_after(elapsed, move |sys: &mut System, sim| {
-        launch(sys, sim, id, token)
-    });
+    sim.schedule_after(elapsed, SimEvent::Launch { device: id, token });
     (elapsed, ExecOutcome::Launched)
 }
 
@@ -191,6 +198,7 @@ fn register_inflight(
         req,
         slot: deq.slot,
         transfer: None,
+        tc: None,
         cfg,
         segments: plan.segments,
         pages: plan.pages,
@@ -218,10 +226,9 @@ pub(crate) fn launch(
         return;
     }
     // Table 2: the engine has a fixed number of transfer controllers;
-    // a launch with all of them busy queues until one frees.
-    let cap = sys.cost.dma_transfer_controllers as usize;
-    if sys.tc_active >= cap {
-        sys.tc_waiting.push_back((id, token));
+    // a launch with all of them busy queues until one frees. Admission
+    // routes onto the least-loaded controller channel.
+    let Some(tc) = sys.tc.admit((id, token)) else {
         sys.trace_emit(
             now,
             memif_hwsim::SimDuration::ZERO,
@@ -234,8 +241,7 @@ pub(crate) fn launch(
                 .map(|i| i.req.id),
         );
         return;
-    }
-    sys.tc_active += 1;
+    };
     let Some(inflight) = dev_mut(sys, id)
         .inflight
         .iter_mut()
@@ -247,24 +253,37 @@ pub(crate) fn launch(
         .cfg
         .take()
         .expect("launch consumes a programmed cfg");
+    inflight.tc = Some(tc);
     if inflight.dma_started_at.is_none() {
         inflight.dma_started_at = Some(now);
     }
     let (src, dst) = (cfg.segments[0].src, cfg.segments[0].dst);
     let src_node = sys.node_of(src).expect("segment in a known bank");
     let dst_node = sys.node_of(dst).expect("segment in a known bank");
-    let route = sys.dma_route(src_node, dst_node);
+    let route = sys.dma_route_on(tc, src_node, dst_node);
     let demand = sys.cost.dma_engine_bw_gbps;
-    let transfer = sys.dma.launch(
-        &mut sys.flows,
-        sim,
-        &route,
-        &cfg,
-        demand,
-        move |sys, sim, tid, outcome| {
-            complete::on_dma_complete(sys, sim, id, tid, outcome);
+    let ticket = sys.dma.launch(&cfg, demand);
+    let payload = match ticket.delivery {
+        CompletionDelivery::Interrupt(outcome) => SimEvent::DmaDone {
+            device: id,
+            transfer: ticket.id,
+            outcome,
         },
-    );
+        CompletionDelivery::Delayed { outcome, delay } => SimEvent::DmaIrqDelayed {
+            device: id,
+            transfer: ticket.id,
+            outcome,
+            delay,
+        },
+        CompletionDelivery::Dropped => SimEvent::DmaIrqLost {
+            device: id,
+            transfer: ticket.id,
+        },
+    };
+    let flow = sys
+        .flows
+        .start_flow(sim, &route, ticket.flow_bytes, demand, payload);
+    sys.dma.attach_flow(ticket.id, flow);
     let req_id = dev(sys, id)
         .inflight
         .iter()
@@ -275,7 +294,7 @@ pub(crate) fn launch(
         .iter_mut()
         .find(|i| i.token == token)
         .expect("still inflight")
-        .transfer = Some(transfer);
+        .transfer = Some(ticket.id);
     // Account the engine's busy time for utilization plots.
     let wall = SimDuration::for_bytes(cfg.bytes, demand) + cfg.engine_overhead;
     sys.meter.charge(Context::DmaEngine, wall);
@@ -292,9 +311,7 @@ pub(crate) fn launch(
             (c.watchdog_factor, c.watchdog_slack)
         };
         let deadline = wall * u64::from(factor) + slack;
-        let wd = sim.schedule_after(deadline, move |sys: &mut System, sim| {
-            watchdog_fire(sys, sim, id, token);
-        });
+        let wd = sim.schedule_after(deadline, SimEvent::WatchdogFire { device: id, token });
         dev_mut(sys, id)
             .inflight
             .iter_mut()
@@ -307,7 +324,12 @@ pub(crate) fn launch(
 /// The per-request watchdog: declares the transfer lost if it is still
 /// pending when the deadline expires, then routes it into the bounded
 /// retry machinery.
-fn watchdog_fire(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, id: DeviceId, token: u64) {
+pub(crate) fn watchdog_fire(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+) {
     if sys.device(id).is_none() {
         return;
     }
@@ -350,17 +372,23 @@ pub(crate) fn handle_dma_failure(
         sim.cancel(w);
     }
     let attempt = inflight.attempt;
+    let held_tc = inflight.tc.take();
     match inflight.transfer.take() {
         Some(t) => {
             // A lost transfer still owns its chain and controller slot
             // (its completion never ran); abort reclaims both. A transfer
-            // already retired by `DmaEngine::fail` aborts as a no-op.
-            if sys.dma.abort(&mut sys.flows, sim, t) {
-                release_tc(sys, sim);
+            // already retired by its error interrupt aborts as a no-op.
+            if let Some(aborted) = sys.dma.abort(t) {
+                if let Some(flow) = aborted.flow {
+                    sys.flows.cancel_flow(sim, flow);
+                }
+                if let Some(tc) = held_tc {
+                    release_tc(sys, sim, tc);
+                }
             }
         }
         None => {
-            sys.tc_waiting.retain(|(d, t)| !(*d == id && *t == token));
+            sys.tc.cancel_waiting(|(d, t)| *d == id && *t == token);
         }
     }
     let (max_retries, base_backoff) = {
@@ -376,9 +404,7 @@ pub(crate) fn handle_dma_failure(
             }
         }
         let backoff = base_backoff * (1u64 << attempt.min(16));
-        sim.schedule_after(backoff, move |sys: &mut System, sim| {
-            retry_launch(sys, sim, id, token);
-        });
+        sim.schedule_after(backoff, SimEvent::RetryLaunch { device: id, token });
         return;
     }
     degrade_or_fail(sys, sim, id, token, reason);
@@ -386,7 +412,12 @@ pub(crate) fn handle_dma_failure(
 
 /// Re-issues a request whose previous DMA attempt failed: reprograms the
 /// scatter-gather chain from the retained segments and relaunches.
-fn retry_launch(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, id: DeviceId, token: u64) {
+pub(crate) fn retry_launch(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+) {
     if sys.device(id).is_none() {
         return;
     }
@@ -423,9 +454,7 @@ fn retry_launch(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, id: Device
                 "retry: reprogram chain",
                 req_id,
             );
-            sim.schedule_after(cost, move |sys: &mut System, sim| {
-                launch(sys, sim, id, token)
-            });
+            sim.schedule_after(cost, SimEvent::Launch { device: id, token });
         }
         Err(memif_hwsim::dma::ChainError::AllBusy) => {
             // Still exhausted: charge another attempt against the budget.
@@ -456,9 +485,15 @@ pub(crate) fn degrade_or_fail(
         if let Some(w) = inflight.watchdog.take() {
             sim.cancel(w);
         }
+        let held_tc = inflight.tc.take();
         if let Some(t) = inflight.transfer.take() {
-            if sys.dma.abort(&mut sys.flows, sim, t) {
-                release_tc(sys, sim);
+            if let Some(aborted) = sys.dma.abort(t) {
+                if let Some(flow) = aborted.flow {
+                    sys.flows.cancel_flow(sim, flow);
+                }
+                if let Some(tc) = held_tc {
+                    release_tc(sys, sim, tc);
+                }
             }
         }
         fault::teardown_inflight(sys, sim, id, inflight, MoveStatus::Failed(reason));
@@ -495,39 +530,51 @@ pub(crate) fn degrade_or_fail(
     // Release must wait for the worker's CPU, like the polling path.
     let ready_at = (sim.now() + copy_cost).max(dev(sys, id).kthread_busy_until);
     dev_mut(sys, id).kthread_busy_until = ready_at;
-    sim.schedule_at(ready_at, move |sys: &mut System, sim| {
-        let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
-            return; // aborted in the copy window
-        };
-        let inflight = dev_mut(sys, id).inflight.remove(index);
-        let req_id = inflight.req.id;
-        let release_cost =
-            complete::release_and_notify(sys, sim, id, inflight, Context::KernelThread);
-        sys.trace_emit(
-            sim.now(),
-            release_cost,
-            Context::KernelThread,
-            "ops 4-5: release+notify (degraded)",
-            Some(req_id),
-        );
-        let busy_until = sim.now() + release_cost;
-        let device = dev_mut(sys, id);
-        device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
-        sim.schedule_after(release_cost, move |sys: &mut System, sim| {
-            kthread::run(sys, sim, id);
-        });
-    });
+    sim.schedule_at(ready_at, SimEvent::DegradedRelease { device: id, token });
 }
 
-/// Frees one transfer-controller slot and launches the next waiting
-/// transfer, if any. Called from every completion/abort path.
-pub(crate) fn release_tc(sys: &mut System, sim: &mut memif_hwsim::Sim<System>) {
-    sys.tc_active = sys.tc_active.saturating_sub(1);
-    launch_next_waiting(sys, sim);
+/// Release + Notify for a request served by the degraded CPU-copy path,
+/// once the worker's CPU frees up ([`SimEvent::DegradedRelease`]).
+pub(crate) fn degraded_release(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+) {
+    if sys.device(id).is_none() {
+        return;
+    }
+    let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
+        return; // aborted in the copy window
+    };
+    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let req_id = inflight.req.id;
+    let release_cost = complete::release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+    sys.trace_emit(
+        sim.now(),
+        release_cost,
+        Context::KernelThread,
+        "ops 4-5: release+notify (degraded)",
+        Some(req_id),
+    );
+    let busy_until = sim.now() + release_cost;
+    let device = dev_mut(sys, id);
+    device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
+    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id });
+}
+
+/// Frees the transfer-controller slot a retired transfer held on channel
+/// `tc` and launches the next waiting transfer, if any. Called from
+/// every completion/abort path, with the channel taken from the
+/// in-flight record (exactly once per launch).
+pub(crate) fn release_tc(sys: &mut System, sim: &mut memif_hwsim::Sim<System>, tc: usize) {
+    if let Some((id, token)) = sys.tc.release(tc) {
+        launch(sys, sim, id, token);
+    }
 }
 
 fn launch_next_waiting(sys: &mut System, sim: &mut memif_hwsim::Sim<System>) {
-    if let Some((id, token)) = sys.tc_waiting.pop_front() {
+    if let Some((id, token)) = sys.tc.take_waiting() {
         launch(sys, sim, id, token);
     }
 }

@@ -13,7 +13,8 @@ use memif_lockfree::MoveStatus;
 use memif_mm::VirtAddr;
 
 use crate::device::DeviceId;
-use crate::driver::{complete, dev, dev_mut, kthread};
+use crate::driver::{complete, dev, dev_mut};
+use crate::event::SimEvent;
 use crate::system::{SpaceId, System};
 
 /// Handles a write-protection fault at `vaddr` in `space`. Returns
@@ -60,13 +61,19 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
 
     // Drop the outstanding DMA transfer (it may not have launched yet,
     // or may still be waiting for a transfer controller).
+    let held_tc = inflight.tc.take();
     if let Some(transfer) = inflight.transfer.take() {
-        if sys.dma.abort(&mut sys.flows, sim, transfer) {
-            crate::driver::exec::release_tc(sys, sim);
+        if let Some(aborted) = sys.dma.abort(transfer) {
+            if let Some(flow) = aborted.flow {
+                sys.flows.cancel_flow(sim, flow);
+            }
+            if let Some(tc) = held_tc {
+                crate::driver::exec::release_tc(sys, sim, tc);
+            }
         }
     } else {
-        sys.tc_waiting
-            .retain(|(d, t)| !(*d == id && *t == inflight.token));
+        let token = inflight.token;
+        sys.tc.cancel_waiting(|(d, t)| *d == id && *t == token);
     }
 
     teardown_inflight(sys, sim, id, inflight, MoveStatus::Aborted);
@@ -137,7 +144,5 @@ pub(crate) fn teardown_inflight(
     // Let the worker move on to queued requests.
     let wakeup = sys.cost.kthread_wakeup;
     sys.meter.charge(Context::KernelThread, wakeup);
-    sim.schedule_after(cost + wakeup, move |sys: &mut System, sim| {
-        kthread::run(sys, sim, id);
-    });
+    sim.schedule_after(cost + wakeup, SimEvent::KthreadRun { device: id });
 }

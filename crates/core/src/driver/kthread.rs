@@ -15,6 +15,7 @@ use memif_lockfree::{Color, QueueId};
 use crate::device::DeviceId;
 use crate::driver::exec::execute_request;
 use crate::driver::{dev, dev_mut};
+use crate::event::SimEvent;
 use crate::system::System;
 
 /// One scheduling round of the worker: issue the next queued request —
@@ -64,9 +65,7 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
                 // for `elapsed`; it looks for more work afterwards (and
                 // issues it if the pipeline still has room).
                 dev_mut(sys, id).kthread_busy_until = sim.now() + elapsed;
-                sim.schedule_after(elapsed, move |sys: &mut System, sim| {
-                    run_continue(sys, sim, id);
-                });
+                sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id });
                 return;
             }
             None => {
@@ -91,7 +90,7 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     }
 }
 
-fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
+pub(crate) fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     // Continuation entry that does not re-count a wakeup.
     if sys.device(id).is_none() {
         return;

@@ -13,6 +13,18 @@
 //!   the submission and staging queues, switching between
 //!   interrupt-driven and polling completion at the 512 KB threshold,
 //!   and recolors the staging queue blue before going back to sleep.
+//!
+//! Every deferred step of these paths is a typed
+//! [`SimEvent`](crate::SimEvent) — launch, retry, watchdog, interrupt
+//! and polling release, kernel-thread continuation — dispatched by the
+//! central `EventWorld` implementation in `crate::event`. The driver
+//! schedules *data*, not closures, so a simulation's event stream can be
+//! logged and replayed verbatim. DMA launches are admitted onto one of
+//! the engine's transfer-controller channels by the system's
+//! [`TcScheduler`](memif_hwsim::TcScheduler) (least-loaded routing;
+//! FIFO queueing when all channels are busy), and the channel slot is
+//! recorded in the in-flight entry so each terminal path — completion,
+//! error, abort, teardown — releases it exactly once.
 
 pub(crate) mod complete;
 pub(crate) mod exec;

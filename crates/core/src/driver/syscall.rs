@@ -12,6 +12,7 @@ use memif_lockfree::QueueId;
 use crate::device::DeviceId;
 use crate::driver::exec::execute_request;
 use crate::driver::{dev, dev_mut};
+use crate::event::SimEvent;
 use crate::system::System;
 
 /// Executes one `MOV_ONE` command in the calling process's context.
@@ -45,9 +46,7 @@ pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> 
             // Wake the worker once the syscall's CPU time has passed: it
             // drains the rest of the burst, pipelining the next
             // request's preparation with the first transfer.
-            sim.schedule_after(elapsed, move |sys: &mut System, sim| {
-                crate::driver::kthread::run(sys, sim, id);
-            });
+            sim.schedule_after(elapsed, SimEvent::KthreadRun { device: id });
             crossing + queue_cost + elapsed
         }
         None => crossing + queue_cost, // spurious kick: queue already drained

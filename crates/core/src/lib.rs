@@ -38,6 +38,7 @@ mod config;
 mod device;
 mod driver;
 mod error;
+mod event;
 mod system;
 
 pub use api::{poll_any, Completion, CompletionStatus, Memif, MoveSpec, ReqId};
@@ -45,6 +46,7 @@ pub use config::{MemifConfig, RaceMode};
 pub use device::{CompletionRecord, DeviceId, DriverStats, MemifDevice};
 pub use driver::fault::handle_write_fault;
 pub use error::MemifError;
+pub use event::{HookId, SimEvent};
 pub use system::{Resources, SpaceId, System, TraceEntry};
 
 // Re-export the building blocks user code needs at the API boundary.

@@ -9,11 +9,12 @@
 use memif_hwsim::dma::DmaEngine;
 use memif_hwsim::{
     Context, CostModel, FlowSystem, NodeId, PhysAddr, PhysMem, ResourceId, Sim, SimDuration,
-    SimTime, Topology, UsageMeter,
+    SimTime, TcScheduler, Topology, UsageMeter,
 };
 use memif_mm::{AddressSpace, FrameAllocator};
 
-use crate::device::MemifDevice;
+use crate::device::{DeviceId, MemifDevice};
+use crate::event::SimEvent;
 
 /// One entry of the driver execution trace (Figure 5 reconstruction).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +39,9 @@ pub struct SpaceId(pub usize);
 #[derive(Debug)]
 pub struct Resources {
     nodes: Vec<ResourceId>,
-    engine: ResourceId,
+    /// One resource per transfer-controller channel; `tcs[0]` is the
+    /// engine-wide resource of the single-channel (paper) configuration.
+    tcs: Vec<ResourceId>,
 }
 
 impl Resources {
@@ -48,10 +51,27 @@ impl Resources {
         self.nodes[id.0 as usize]
     }
 
-    /// The DMA engine's aggregate-bandwidth resource.
+    /// The DMA engine's aggregate-bandwidth resource (transfer-controller
+    /// channel 0).
     #[must_use]
     pub fn engine(&self) -> ResourceId {
-        self.engine
+        self.tcs[0]
+    }
+
+    /// The bandwidth resource of transfer-controller channel `tc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range channel index.
+    #[must_use]
+    pub fn tc(&self, tc: usize) -> ResourceId {
+        self.tcs[tc]
+    }
+
+    /// Number of transfer-controller channels.
+    #[must_use]
+    pub fn tc_count(&self) -> usize {
+        self.tcs.len()
     }
 }
 
@@ -77,14 +97,14 @@ pub struct System {
     pub(crate) devices: Vec<Option<MemifDevice>>,
     pub(crate) spaces: Vec<AddressSpace>,
     pub(crate) trace: Option<Vec<TraceEntry>>,
-    /// Transfers currently occupying a transfer controller.
-    pub(crate) tc_active: usize,
-    /// Launch-ready transfers waiting for a free controller, FIFO.
-    pub(crate) tc_waiting: std::collections::VecDeque<(crate::device::DeviceId, u64)>,
-}
-
-fn flows_accessor(sys: &mut System) -> &mut FlowSystem<System> {
-    &mut sys.flows
+    /// Transfer-controller channels: admission (the hardware's global
+    /// controller cap), least-loaded routing, and per-channel launch
+    /// queues. Tickets are `(device, token)` of the launch to re-run.
+    pub(crate) tc: TcScheduler<(DeviceId, u64)>,
+    /// Hook callbacks dispatched by [`SimEvent::Hook`].
+    pub(crate) hooks: crate::event::Hooks,
+    /// JSON-lines record of every dispatched event, when enabled.
+    pub(crate) event_log: Option<Vec<String>>,
 }
 
 impl System {
@@ -107,13 +127,28 @@ impl System {
                 alloc.online_node(node);
             }
         }
-        let mut flows = FlowSystem::new(flows_accessor);
+        let mut flows = FlowSystem::new(|| SimEvent::FlowTick);
         let nodes = topo
             .all_nodes()
             .iter()
             .map(|n| flows.add_resource(n.name.clone(), n.bandwidth_gbps))
             .collect();
-        let engine = flows.add_resource("dma-engine", cost.dma_engine_bw_gbps);
+        // Transfer-controller channels. Channel 0 keeps the historical
+        // "dma-engine" name (and resource id), so a one-channel machine
+        // is resource-for-resource identical to the pre-TC layout.
+        let tc_count = cost.dma_tc_count.max(1) as usize;
+        let mut tc = TcScheduler::new(cost.dma_transfer_controllers as usize);
+        let mut tcs = Vec::with_capacity(tc_count);
+        for i in 0..tc_count {
+            let name = if i == 0 {
+                "dma-engine".to_owned()
+            } else {
+                format!("dma-tc{i}")
+            };
+            let r = flows.add_resource(name, cost.dma_engine_bw_gbps);
+            tc.add_channel(r);
+            tcs.push(r);
+        }
         System {
             topo,
             cost,
@@ -122,12 +157,13 @@ impl System {
             flows,
             dma: DmaEngine::new(),
             meter: UsageMeter::new(),
-            resources: Resources { nodes, engine },
+            resources: Resources { nodes, tcs },
             devices: Vec::new(),
             spaces: Vec::new(),
             trace: None,
-            tc_active: 0,
-            tc_waiting: std::collections::VecDeque::new(),
+            tc,
+            hooks: crate::event::Hooks::default(),
+            event_log: None,
         }
     }
 
@@ -135,7 +171,7 @@ impl System {
     /// controllers (diagnostics).
     #[must_use]
     pub fn active_transfers(&self) -> usize {
-        self.tc_active
+        self.tc.active()
     }
 
     /// Installs a chaos-mode fault plan: the DMA engine gets a seeded
@@ -159,12 +195,20 @@ impl System {
             let factor = b.factor.clamp(f64::MIN_POSITIVE, 1.0);
             let resource = self.resources.node(b.node);
             let (start, end) = (b.start, b.start + b.duration);
-            sim.schedule_at(start, move |sys: &mut System, sim| {
-                sys.flows.set_capacity(sim, resource, base * factor);
-            });
-            sim.schedule_at(end, move |sys: &mut System, sim| {
-                sys.flows.set_capacity(sim, resource, base);
-            });
+            sim.schedule_at(
+                start,
+                SimEvent::SetCapacity {
+                    resource,
+                    gbps: base * factor,
+                },
+            );
+            sim.schedule_at(
+                end,
+                SimEvent::SetCapacity {
+                    resource,
+                    gbps: base,
+                },
+            );
         }
         self.dma
             .install_injector(memif_hwsim::FaultInjector::new(plan));
@@ -392,10 +436,22 @@ impl System {
     }
 
     /// The flow route a DMA transfer between two nodes occupies: the
-    /// engine plus each distinct node bus.
+    /// engine (transfer-controller channel 0) plus each distinct node
+    /// bus.
     #[must_use]
     pub fn dma_route(&self, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
-        let mut route = vec![self.resources.engine(), self.resources.node(src)];
+        self.dma_route_on(0, src, dst)
+    }
+
+    /// The flow route of a transfer dispatched onto transfer-controller
+    /// channel `tc`: that channel's pipe plus each distinct node bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range channel index.
+    #[must_use]
+    pub fn dma_route_on(&self, tc: usize, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
+        let mut route = vec![self.resources.tc(tc), self.resources.node(src)];
         if src != dst {
             route.push(self.resources.node(dst));
         }

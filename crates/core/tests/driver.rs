@@ -4,7 +4,8 @@
 //! multi-device isolation.
 
 use memif::{
-    Memif, MemifConfig, MemifError, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimTime, System,
+    Memif, MemifConfig, MemifError, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimEvent, SimTime,
+    System,
 };
 use memif_mm::{AccessKind, Fault};
 
@@ -181,12 +182,14 @@ fn race_detection_fails_the_request() {
         .unwrap();
     // Touch one page while the DMA is in flight: the reference clears the
     // young bit of the semi-final PTE and Release's CAS must detect it.
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, _| {
             sys.space_mut(memif::SpaceId(0))
                 .access(va, AccessKind::Read)
                 .unwrap();
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
 
     let done = s
@@ -245,14 +248,16 @@ fn prevention_mode_flushes_twice_and_blocks_access() {
         )
         .unwrap();
     // Mid-flight access hits the migration entry and blocks.
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, _| {
             let err = sys
                 .space_mut(memif::SpaceId(0))
                 .access(va, AccessKind::Read)
                 .unwrap_err();
             assert!(matches!(err, Fault::BlockedByMigration(_)));
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
     let done = s
         .memif
@@ -290,11 +295,13 @@ fn recover_mode_aborts_and_preserves_the_write() {
     // A mid-flight store traps, aborts the migration, and succeeds
     // against the restored old mapping.
     let space = s.space;
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, sim| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, sim| {
             sys.cpu_write(sim, space, va.offset(100), &[0xEE])
                 .expect("write preserved");
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
 
     let done = s
@@ -338,14 +345,16 @@ fn poll_wakes_on_completion() {
     static WOKE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     WOKE.store(0, std::sync::atomic::Ordering::SeqCst);
     let memif = s.memif;
-    memif.poll(&mut s.sys, &mut s.sim, move |sys, sim| {
-        WOKE.store(sim.now().as_ns(), std::sync::atomic::Ordering::SeqCst);
-        let c = memif
-            .retrieve_completed(sys)
-            .unwrap()
-            .expect("ready at wake");
-        assert!(c.status.is_ok());
-    });
+    memif
+        .poll(&mut s.sys, &mut s.sim, move |sys, sim| {
+            WOKE.store(sim.now().as_ns(), std::sync::atomic::Ordering::SeqCst);
+            let c = memif
+                .retrieve_completed(sys)
+                .unwrap()
+                .expect("ready at wake");
+            assert!(c.status.is_ok());
+        })
+        .unwrap();
     s.sim.run(&mut s.sys);
     let woke = WOKE.load(std::sync::atomic::Ordering::SeqCst);
     assert!(woke > 0, "waker ran");
@@ -367,9 +376,11 @@ fn poll_wakes_on_completion() {
     {
         static FIRED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
         FIRED.store(false, std::sync::atomic::Ordering::SeqCst);
-        memif.poll(&mut s.sys, &mut s.sim, |_, _| {
-            FIRED.store(true, std::sync::atomic::Ordering::SeqCst);
-        });
+        memif
+            .poll(&mut s.sys, &mut s.sim, |_, _| {
+                FIRED.store(true, std::sync::atomic::Ordering::SeqCst);
+            })
+            .unwrap();
         s.sim.run(&mut s.sys);
         fired = FIRED.load(std::sync::atomic::Ordering::SeqCst);
     }
@@ -931,9 +942,12 @@ fn transfer_controllers_bound_concurrency() {
     let peak = std::rc::Rc::new(std::cell::Cell::new(0usize));
     for t in (0..4000u64).step_by(50) {
         let peak = std::rc::Rc::clone(&peak);
-        sim.schedule_at(SimTime::from_ns(t * 1_000), move |sys: &mut System, _| {
-            peak.set(peak.get().max(sys.active_transfers()));
-        });
+        sim.schedule_at(
+            SimTime::from_ns(t * 1_000),
+            SimEvent::call(move |sys: &mut System, _| {
+                peak.set(peak.get().max(sys.active_transfers()));
+            }),
+        );
     }
     sim.run(&mut sys);
     assert!(
@@ -1055,12 +1069,14 @@ fn recover_mode_tolerates_reads() {
             MoveSpec::migrate(va, 4, PageSize::Small4K, NodeId(1)),
         )
         .unwrap();
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, _| {
             sys.space_mut(memif::SpaceId(0))
                 .access(va, AccessKind::Read)
                 .unwrap();
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
 
     let done = s

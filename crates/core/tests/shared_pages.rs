@@ -5,7 +5,8 @@
 //! and unmap in any order.
 
 use memif::{
-    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimTime, SpaceId, System,
+    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimEvent, SimTime, SpaceId,
+    System,
 };
 use memif_mm::{AccessKind, Fault};
 
@@ -107,11 +108,13 @@ fn remote_mapper_is_blocked_during_flight() {
     // Mid-flight, the remote space hits a migration entry; the owner's
     // semi-final PTE still serves reads (race-detected).
     let (b, va_b) = (s.b, s.va_b);
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, _| {
             let err = sys.space_mut(b).access(va_b, AccessKind::Read).unwrap_err();
             assert!(matches!(err, Fault::BlockedByMigration(_)));
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
     let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
     assert!(
@@ -138,10 +141,12 @@ fn owner_access_still_races_for_shared_pages() {
         )
         .unwrap();
     let (a, va_a) = (s.a, s.va_a);
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, _| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, _| {
             sys.space_mut(a).access(va_a, AccessKind::Read).unwrap();
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
     let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
     assert!(c.status.is_race());
@@ -172,11 +177,13 @@ fn recover_abort_restores_all_mappers() {
         .unwrap();
     let a = s.a;
     let va = s.va_a;
-    s.sim
-        .schedule_at(SimTime::from_ns(1), move |sys: &mut System, sim| {
+    s.sim.schedule_at(
+        SimTime::from_ns(1),
+        SimEvent::call(move |sys: &mut System, sim| {
             sys.cpu_write(sim, a, va, &[9])
                 .expect("write preserved by recover");
-        });
+        }),
+    );
     s.sim.run(&mut s.sys);
     let c = s.memif.retrieve_completed(&mut s.sys).unwrap().unwrap();
     assert!(c.status.is_aborted());

@@ -72,6 +72,11 @@ pub struct CostModel {
     /// Transfer controllers: concurrent transfers the engine executes
     /// (Table 2: "6 transfer controllers"). Further launches queue.
     pub dma_transfer_controllers: u32,
+    /// Independently modelled TC bandwidth channels. With 1 (the
+    /// paper's implicit configuration) every transfer contends on one
+    /// engine-wide resource; with N each channel gets its own
+    /// `dma_engine_bw_gbps` pipe and launches are routed least-loaded.
+    pub dma_tc_count: u32,
 
     // ---- Virtual memory (§5.1, §5.2) ----
     /// Full vertical page-table walk from the root to a PTE.
@@ -134,6 +139,7 @@ impl CostModel {
             dma_per_desc_engine: SimDuration::from_ns(550),
             dma_trigger: SimDuration::from_ns(300),
             dma_transfer_controllers: 6,
+            dma_tc_count: 1,
             pt_walk_vertical: SimDuration::from_ns(1_100),
             pt_walk_horizontal: SimDuration::from_ns(90),
             pte_replace: SimDuration::from_ns(500),

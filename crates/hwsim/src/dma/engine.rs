@@ -4,8 +4,12 @@
 //! through uncached I/O space); execution is engine-side (descriptors are
 //! walked, bytes move, a completion interrupt fires). Accordingly
 //! [`DmaEngine::configure`] mutates engine state and *returns the CPU
-//! cost* for the caller to charge, while [`DmaEngine::launch`] couples a
-//! configured transfer to the flow network and the event queue.
+//! cost* for the caller to charge, while [`DmaEngine::launch`] rolls the
+//! transfer's fate and returns a [`LaunchTicket`] describing the flow the
+//! caller must start and how the completion interrupt will be delivered.
+//! The engine knows nothing about the caller's world type: completions
+//! come back as typed data ([`DmaOutcome`] via [`CompletionDelivery`]),
+//! never as captured closures.
 //!
 //! Per §2.3 the engine is cache-coherent with the CPUs (no cache
 //! maintenance needed around transfers) and supports scatter-gather
@@ -20,9 +24,8 @@ use crate::cost::CostModel;
 use crate::dma::chain::{ChainError, ChainId, ChainManager, ChainPlan};
 use crate::dma::param::{ParamSet, NULL_LINK, NUM_PARAM_SETS};
 use crate::fault::{FaultInjector, FaultStats, TransferFault};
-use crate::flow::{FlowId, FlowSystem, ResourceId};
+use crate::flow::FlowId;
 use crate::phys::PhysAddr;
-use crate::sim::Sim;
 use crate::time::SimDuration;
 
 /// One physically contiguous piece of a scatter-gather transfer (one
@@ -78,19 +81,68 @@ pub struct DmaStats {
     pub interrupts: u64,
 }
 
-/// How a launched transfer ended, as seen by its completion callback.
+/// How a launched transfer ended, as carried by its completion event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaOutcome {
     /// The whole scatter-gather chain was walked; the bytes are at their
     /// destination.
     Completed,
     /// The engine raised an error interrupt partway through. No bytes
-    /// are guaranteed at the destination; the caller must call
-    /// [`DmaEngine::fail`] and decide whether to retry.
+    /// are guaranteed at the destination; the caller passes the outcome
+    /// to [`DmaEngine::complete`] and decides whether to retry.
     Error {
         /// Bytes the engine had moved before the error.
         bytes_done: u64,
     },
+}
+
+/// How (and whether) a launched transfer's completion interrupt reaches
+/// the driver. Decided at launch time — with a [`FaultInjector`]
+/// installed the fate may be an early error, a lost interrupt, or a late
+/// one; without one it is always `Interrupt(Completed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionDelivery {
+    /// The completion (or error) interrupt fires the moment the flow
+    /// drains: dispatch the completion event directly.
+    Interrupt(DmaOutcome),
+    /// The interrupt is delivered `delay` after the flow drains: schedule
+    /// the completion event that much later.
+    Delayed {
+        /// The outcome the late interrupt reports.
+        outcome: DmaOutcome,
+        /// Injected interrupt latency.
+        delay: SimDuration,
+    },
+    /// The interrupt is silently lost: the bytes arrive but the driver is
+    /// never told. Only an external watchdog plus [`DmaEngine::abort`]
+    /// can reclaim the transfer.
+    Dropped,
+}
+
+/// What [`DmaEngine::launch`] hands back: the transfer identity, the flow
+/// the caller must start on the fabric, and how the completion interrupt
+/// will be delivered. The caller starts a flow of `flow_bytes` over its
+/// chosen route, registers it with [`DmaEngine::attach_flow`], and
+/// attaches a completion payload derived from `delivery`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "the caller must start the transfer's flow"]
+pub struct LaunchTicket {
+    /// The in-flight transfer's identity.
+    pub id: TransferId,
+    /// Bytes the fabric flow must carry: the payload (possibly truncated
+    /// by an injected error) plus the engine-overhead-equivalent bytes.
+    pub flow_bytes: u64,
+    /// How the completion interrupt will be delivered.
+    pub delivery: CompletionDelivery,
+}
+
+/// What [`DmaEngine::abort`] reclaimed: the fabric flow (if one was
+/// attached and should be cancelled by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortedTransfer {
+    /// The transfer's fabric flow, still to be cancelled by the caller
+    /// (the engine does not own the flow network).
+    pub flow: Option<FlowId>,
 }
 
 /// The simulated EDMA3-class engine.
@@ -109,13 +161,22 @@ pub struct DmaEngine {
 #[derive(Debug)]
 struct InFlight {
     chain: ChainId,
-    flow: FlowId,
+    flow: Option<FlowId>,
     bytes: u64,
 }
 
-/// Handle to an in-flight transfer (for abort).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Handle to an in-flight transfer (for completion and abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TransferId(u64);
+
+impl TransferId {
+    /// The raw transfer number (stable within one engine; used by event
+    /// logs).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
 
 impl Default for DmaEngine {
     fn default() -> Self {
@@ -264,77 +325,50 @@ impl DmaEngine {
         total
     }
 
-    /// Launches a configured transfer: after the engine overhead elapses,
-    /// a flow of `bytes` runs over `route`; at flow completion the bytes
-    /// actually move (the caller's `on_complete` performs the copies and
-    /// the release) .
+    /// Launches a configured transfer: rolls its fate against the
+    /// installed [`FaultInjector`] (if any) and returns a
+    /// [`LaunchTicket`].
     ///
-    /// The engine does not know the world type, so the caller supplies
-    /// the flow system and the completion continuation; `on_complete`
-    /// receives the world, the sim, the transfer id, and the
-    /// [`DmaOutcome`], and is expected to perform the byte copies and
-    /// call [`DmaEngine::finish`] (or [`DmaEngine::fail`] on an error
-    /// outcome).
+    /// The engine knows nothing about the caller's world type or flow
+    /// network: the caller starts a fabric flow of `ticket.flow_bytes` at
+    /// `demand_gbps` over its chosen route, attaches a typed completion
+    /// payload derived from `ticket.delivery`, and registers the flow via
+    /// [`DmaEngine::attach_flow`]. When the completion event is
+    /// dispatched, the caller performs the byte copies and retires the
+    /// transfer through [`DmaEngine::complete`] (every terminal path —
+    /// complete, error, abort — releases the chain exactly once).
     ///
-    /// With a [`FaultInjector`] installed the transfer's fate is rolled
-    /// here: it may error out after a prefix of its bytes (`on_complete`
-    /// runs early with [`DmaOutcome::Error`]), its completion interrupt
-    /// may be dropped (`on_complete` never runs — only an external
-    /// watchdog plus [`DmaEngine::abort`] can reclaim it), or the
-    /// interrupt may be delivered late.
-    pub fn launch<W: 'static>(
-        &mut self,
-        flows: &mut FlowSystem<W>,
-        sim: &mut Sim<W>,
-        route: &[ResourceId],
-        transfer: &ConfiguredTransfer,
-        demand_gbps: f64,
-        on_complete: impl FnOnce(&mut W, &mut Sim<W>, TransferId, DmaOutcome) + 'static,
-    ) -> TransferId {
+    /// The engine overhead is modeled as equivalent bytes at the
+    /// transfer's demand rate, so chained descriptors serialize inside
+    /// the flow without a separate timer.
+    pub fn launch(&mut self, transfer: &ConfiguredTransfer, demand_gbps: f64) -> LaunchTicket {
         let id = TransferId(self.next_transfer);
         self.next_transfer += 1;
         self.stats.transfers += 1;
-        // The engine overhead is modeled as equivalent bytes at the
-        // transfer's demand rate, so chained descriptors serialize inside
-        // the flow without a separate timer.
         let overhead_bytes = (transfer.engine_overhead.as_ns() as f64 * demand_gbps) as u64;
         let fault = match &mut self.injector {
             Some(inj) => inj.roll_transfer(transfer.bytes),
             None => TransferFault::None,
         };
-        let flow = match fault {
-            TransferFault::None => flows.start_flow(
-                sim,
-                route,
+        let (flow_bytes, delivery) = match fault {
+            TransferFault::None => (
                 transfer.bytes + overhead_bytes,
-                demand_gbps,
-                move |w, s| on_complete(w, s, id, DmaOutcome::Completed),
+                CompletionDelivery::Interrupt(DmaOutcome::Completed),
             ),
-            TransferFault::Error { bytes_done } => flows.start_flow(
-                sim,
-                route,
+            TransferFault::Error { bytes_done } => (
                 bytes_done + overhead_bytes,
-                demand_gbps,
-                move |w, s| on_complete(w, s, id, DmaOutcome::Error { bytes_done }),
+                CompletionDelivery::Interrupt(DmaOutcome::Error { bytes_done }),
             ),
-            TransferFault::DropCompletion => flows.start_flow(
-                sim,
-                route,
-                transfer.bytes + overhead_bytes,
-                demand_gbps,
+            TransferFault::DropCompletion => {
                 // The transfer runs to completion on the fabric, but the
                 // interrupt is lost: nobody is told.
-                |_, _| {},
-            ),
-            TransferFault::DelayCompletion(delay) => flows.start_flow(
-                sim,
-                route,
+                (transfer.bytes + overhead_bytes, CompletionDelivery::Dropped)
+            }
+            TransferFault::DelayCompletion(delay) => (
                 transfer.bytes + overhead_bytes,
-                demand_gbps,
-                move |_, s: &mut Sim<W>| {
-                    s.schedule_after(delay, move |w: &mut W, s| {
-                        on_complete(w, s, id, DmaOutcome::Completed);
-                    });
+                CompletionDelivery::Delayed {
+                    outcome: DmaOutcome::Completed,
+                    delay,
                 },
             ),
         };
@@ -342,51 +376,61 @@ impl DmaEngine {
             id.0,
             InFlight {
                 chain: transfer.chain,
-                flow,
+                flow: None,
                 bytes: transfer.bytes,
             },
         );
-        id
-    }
-
-    /// Completes a transfer: releases its chain and counts statistics.
-    /// Call from the `on_complete` continuation.
-    pub fn finish(&mut self, id: TransferId) {
-        if let Some(t) = self.in_flight.remove(&id.0) {
-            self.stats.bytes_moved += t.bytes;
-            self.stats.interrupts += 1;
-            self.chains.release(t.chain);
+        LaunchTicket {
+            id,
+            flow_bytes,
+            delivery,
         }
     }
 
-    /// Retires a transfer that ended in [`DmaOutcome::Error`]: releases
-    /// its chain and counts the error interrupt, without crediting the
-    /// transfer's bytes. Call from the `on_complete` continuation.
-    pub fn fail(&mut self, id: TransferId) {
-        if let Some(t) = self.in_flight.remove(&id.0) {
-            self.stats.errors += 1;
-            self.stats.interrupts += 1;
-            self.chains.release(t.chain);
+    /// Records the fabric flow carrying transfer `id`, so a later
+    /// [`DmaEngine::abort`] can hand it back for cancellation.
+    pub fn attach_flow(&mut self, id: TransferId, flow: FlowId) {
+        if let Some(t) = self.in_flight.get_mut(&id.0) {
+            t.flow = Some(flow);
+        }
+    }
+
+    /// Retires a transfer on its completion interrupt — the single
+    /// terminal path for both successful and errored transfers. Releases
+    /// the chain (exactly once) and counts statistics according to
+    /// `outcome`. Returns `false` if the transfer was no longer in flight
+    /// (already aborted or already completed), in which case nothing is
+    /// released.
+    pub fn complete(&mut self, id: TransferId, outcome: DmaOutcome) -> bool {
+        match self.in_flight.remove(&id.0) {
+            Some(t) => {
+                match outcome {
+                    DmaOutcome::Completed => self.stats.bytes_moved += t.bytes,
+                    DmaOutcome::Error { .. } => self.stats.errors += 1,
+                }
+                self.stats.interrupts += 1;
+                self.chains.release(t.chain);
+                true
+            }
+            None => false,
         }
     }
 
     /// Aborts an in-flight transfer ("drops the outstanding DMA
-    /// transfer", §5.2 proceed-and-recover). The completion continuation
-    /// never runs. Returns `true` if the transfer was still in flight.
-    pub fn abort<W: 'static>(
-        &mut self,
-        flows: &mut FlowSystem<W>,
-        sim: &mut Sim<W>,
-        id: TransferId,
-    ) -> bool {
+    /// transfer", §5.2 proceed-and-recover; also the watchdog's reclaim
+    /// path for lost interrupts). The completion event, if it still
+    /// fires, finds the transfer gone and [`DmaEngine::complete`] becomes
+    /// a no-op — the chain is never released twice. Returns the attached
+    /// fabric flow for the caller to cancel, or `None` if the transfer
+    /// was not in flight.
+    pub fn abort(&mut self, id: TransferId) -> Option<AbortedTransfer> {
         match self.in_flight.remove(&id.0) {
             Some(t) => {
-                flows.cancel_flow(sim, t.flow);
                 self.chains.release(t.chain);
                 self.stats.aborted += 1;
-                true
+                Some(AbortedTransfer { flow: t.flow })
             }
-            None => false,
+            None => None,
         }
     }
 
@@ -406,8 +450,9 @@ impl DmaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::FlowSystem;
+    use crate::flow::{FlowSystem, ResourceId};
     use crate::phys::PhysMem;
+    use crate::sim::{EventWorld, Sim};
     use crate::time::SimTime;
 
     fn seg(i: u64) -> SgSegment {
@@ -464,19 +509,95 @@ mod tests {
         dma: DmaEngine,
         phys: PhysMem,
         done_at: Option<u64>,
+        copies: Vec<SgSegment>,
+        expect_error: bool,
     }
 
-    fn flows_of(w: &mut World) -> &mut FlowSystem<World> {
-        &mut w.flows
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        FlowTick,
+        DmaDone(TransferId, DmaOutcome),
+        DmaLate(TransferId, DmaOutcome, SimDuration),
+        IrqLost,
+        Abort(TransferId),
+        AbortKeepFlow(TransferId),
+    }
+
+    impl EventWorld for World {
+        type Event = Ev;
+        fn dispatch(&mut self, sim: &mut Sim<Self>, event: Ev) {
+            match event {
+                Ev::FlowTick => FlowSystem::on_tick(self, sim, |w| &mut w.flows),
+                Ev::DmaDone(id, outcome) => {
+                    if self.expect_error {
+                        assert!(
+                            matches!(outcome, DmaOutcome::Error { bytes_done } if bytes_done < 4 * 4096)
+                        );
+                    }
+                    if matches!(outcome, DmaOutcome::Completed) {
+                        let copies = std::mem::take(&mut self.copies);
+                        for sg in &copies {
+                            self.phys.copy(sg.src, sg.dst, sg.bytes);
+                        }
+                    }
+                    if self.dma.complete(id, outcome) {
+                        self.done_at = Some(sim.now().as_ns());
+                    }
+                }
+                Ev::DmaLate(id, outcome, delay) => {
+                    sim.schedule_after(delay, Ev::DmaDone(id, outcome));
+                }
+                Ev::IrqLost => {}
+                Ev::Abort(id) => {
+                    let aborted = self.dma.abort(id).expect("still in flight");
+                    if let Some(f) = aborted.flow {
+                        self.flows.cancel_flow(sim, f);
+                    }
+                    assert!(self.dma.abort(id).is_none(), "second abort is a no-op");
+                }
+                Ev::AbortKeepFlow(id) => {
+                    // Simulates the watchdog racing a late interrupt: the
+                    // transfer is reclaimed but its flow (already drained)
+                    // is left alone.
+                    assert!(self.dma.abort(id).is_some());
+                }
+            }
+        }
     }
 
     fn world(pool: usize) -> World {
         World {
-            flows: FlowSystem::new(flows_of),
+            flows: FlowSystem::new(|| Ev::FlowTick),
             dma: DmaEngine::with_pool(pool),
             phys: PhysMem::new(),
             done_at: None,
+            copies: Vec::new(),
+            expect_error: false,
         }
+    }
+
+    /// Starts the transfer's flow with the payload its delivery demands —
+    /// what the memif driver does with a ticket.
+    fn launch(
+        w: &mut World,
+        sim: &mut Sim<World>,
+        route: &[ResourceId],
+        t: &ConfiguredTransfer,
+        demand: f64,
+    ) -> TransferId {
+        let ticket = w.dma.launch(t, demand);
+        let payload = match ticket.delivery {
+            CompletionDelivery::Interrupt(outcome) => Ev::DmaDone(ticket.id, outcome),
+            CompletionDelivery::Delayed { outcome, delay } => {
+                Ev::DmaLate(ticket.id, outcome, delay)
+            }
+            CompletionDelivery::Dropped => Ev::IrqLost,
+        };
+        let flow = w
+            .flows
+            .start_flow(sim, route, ticket.flow_bytes, demand, payload);
+        w.dma.attach_flow(ticket.id, flow);
+        ticket.id
     }
 
     #[test]
@@ -488,22 +609,8 @@ mod tests {
         w.phys.fill(seg(0).src, 4096, 0x77);
 
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
-        let segs = t.segments.clone();
-        w.dma.launch(
-            &mut w.flows,
-            &mut sim,
-            &[ddr],
-            &t,
-            5.8,
-            move |w, s, id, outcome| {
-                assert_eq!(outcome, DmaOutcome::Completed);
-                for sg in &segs {
-                    w.phys.copy(sg.src, sg.dst, sg.bytes);
-                }
-                w.dma.finish(id);
-                w.done_at = Some(s.now().as_ns());
-            },
-        );
+        w.copies = t.segments.clone();
+        launch(&mut w, &mut sim, &[ddr], &t, 5.8);
         sim.run(&mut w);
         assert!(w.done_at.is_some());
         assert_eq!(
@@ -527,11 +634,7 @@ mod tests {
         let t = w.dma.configure((0..4).map(seg).collect(), &cm).unwrap();
         let expected_overhead = cm.dma_trigger + cm.dma_per_desc_engine * 4;
         assert_eq!(t.engine_overhead, expected_overhead);
-        w.dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
-                w.dma.finish(id);
-                w.done_at = Some(s.now().as_ns());
-            });
+        launch(&mut w, &mut sim, &[ddr], &t, 4.0);
         sim.run(&mut w);
         // 16384 bytes at 4 GB/s = 4096 ns, plus overhead-equivalent bytes.
         let done = w.done_at.unwrap();
@@ -545,30 +648,45 @@ mod tests {
     }
 
     #[test]
-    fn abort_cancels_flow_and_skips_callback() {
+    fn abort_cancels_flow_and_skips_completion() {
         let cm = CostModel::keystone_ii();
         let mut sim: Sim<World> = Sim::new();
         let mut w = world(16);
         let ddr = w.flows.add_resource("ddr", 1.0);
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
-        let id = w
-            .dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 1.0, |w, s, id, _| {
-                w.dma.finish(id);
-                w.done_at = Some(s.now().as_ns());
-            });
-        sim.schedule_at(
-            SimTime::from_ns(10),
-            move |w: &mut World, s: &mut Sim<World>| {
-                assert!(w.dma.abort(&mut w.flows, s, id));
-                assert!(!w.dma.abort(&mut w.flows, s, id), "second abort is a no-op");
-            },
-        );
+        let id = launch(&mut w, &mut sim, &[ddr], &t, 1.0);
+        sim.schedule_at(SimTime::from_ns(10), Ev::Abort(id));
         sim.run(&mut w);
-        assert!(w.done_at.is_none(), "completion callback never ran");
+        assert!(w.done_at.is_none(), "completion event never dispatched");
         assert_eq!(w.dma.stats().aborted, 1);
         assert_eq!(w.dma.stats().bytes_moved, 0);
         // The chain was released by the abort; reuse works afterwards.
+        let t2 = w.dma.configure(vec![seg(1)], &cm).unwrap();
+        assert_eq!(t2.config_cost, cm.desc_config_reuse());
+    }
+
+    #[test]
+    fn late_completion_after_abort_releases_exactly_once() {
+        // A transfer reclaimed by the watchdog while its (delayed)
+        // completion interrupt is still in the queue: the late interrupt
+        // finds the transfer gone and must not release the chain a second
+        // time or double-count statistics.
+        let cm = CostModel::keystone_ii();
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = world(16);
+        let ddr = w.flows.add_resource("ddr", 6.2);
+        let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
+        let id = launch(&mut w, &mut sim, &[ddr], &t, 4.0);
+        // Reclaim while the flow is still running, but leave the flow (and
+        // therefore the pending completion event) in place.
+        sim.schedule_at(SimTime::from_ns(10), Ev::AbortKeepFlow(id));
+        sim.run(&mut w);
+        assert!(w.done_at.is_none(), "complete() after abort is a no-op");
+        assert_eq!(w.dma.stats().aborted, 1);
+        assert_eq!(w.dma.stats().interrupts, 0);
+        assert_eq!(w.dma.stats().bytes_moved, 0);
+        assert_eq!(w.dma.chains().busy_descriptors(), 0, "released once");
+        // The pool is healthy: the chain is reusable.
         let t2 = w.dma.configure(vec![seg(1)], &cm).unwrap();
         assert_eq!(t2.config_cost, cm.desc_config_reuse());
     }
@@ -596,21 +714,17 @@ mod tests {
     }
 
     #[test]
-    fn injected_error_delivers_error_outcome_and_fail_releases() {
+    fn injected_error_delivers_error_outcome_and_complete_releases() {
         use crate::fault::{FaultInjector, FaultPlan};
         let cm = CostModel::keystone_ii();
         let mut sim: Sim<World> = Sim::new();
         let mut w = world(16);
+        w.expect_error = true;
         let ddr = w.flows.add_resource("ddr", 6.2);
         w.dma
             .install_injector(FaultInjector::new(FaultPlan::dma_errors(9, 1.0)));
         let t = w.dma.configure((0..4).map(seg).collect(), &cm).unwrap();
-        w.dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, out| {
-                assert!(matches!(out, DmaOutcome::Error { bytes_done } if bytes_done < 4 * 4096));
-                w.dma.fail(id);
-                w.done_at = Some(s.now().as_ns());
-            });
+        launch(&mut w, &mut sim, &[ddr], &t, 4.0);
         sim.run(&mut w);
         assert!(w.done_at.is_some(), "error interrupt was delivered");
         assert_eq!(w.dma.stats().errors, 1);
@@ -622,7 +736,7 @@ mod tests {
     }
 
     #[test]
-    fn dropped_completion_never_calls_back_until_aborted() {
+    fn dropped_completion_never_fires_until_aborted() {
         use crate::fault::{FaultInjector, FaultPlan};
         let cm = CostModel::keystone_ii();
         let mut sim: Sim<World> = Sim::new();
@@ -634,17 +748,13 @@ mod tests {
             ..FaultPlan::default()
         }));
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
-        let id = w
-            .dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
-                w.dma.finish(id);
-                w.done_at = Some(s.now().as_ns());
-            });
+        let id = launch(&mut w, &mut sim, &[ddr], &t, 4.0);
         sim.run(&mut w);
         assert!(w.done_at.is_none(), "completion interrupt was dropped");
         assert_eq!(w.dma.chains().busy_descriptors(), 1, "chain still held");
-        // A watchdog-style abort reclaims the chain.
-        assert!(w.dma.abort(&mut w.flows, &mut sim, id));
+        // A watchdog-style abort reclaims the chain (the flow has already
+        // drained, so there is nothing left to cancel).
+        assert!(w.dma.abort(id).is_some());
         assert_eq!(w.dma.chains().busy_descriptors(), 0);
     }
 
@@ -659,11 +769,7 @@ mod tests {
             let mut w = world(16);
             let ddr = w.flows.add_resource("ddr", 6.2);
             let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
-            w.dma
-                .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
-                    w.dma.finish(id);
-                    w.done_at = Some(s.now().as_ns());
-                });
+            launch(&mut w, &mut sim, &[ddr], &t, 4.0);
             sim.run(&mut w);
             w.done_at.unwrap()
         };
@@ -678,11 +784,7 @@ mod tests {
             ..FaultPlan::default()
         }));
         let t = w.dma.configure(vec![seg(0)], &cm).unwrap();
-        w.dma
-            .launch(&mut w.flows, &mut sim, &[ddr], &t, 4.0, |w, s, id, _| {
-                w.dma.finish(id);
-                w.done_at = Some(s.now().as_ns());
-            });
+        launch(&mut w, &mut sim, &[ddr], &t, 4.0);
         sim.run(&mut w);
         let delayed = w.done_at.expect("delayed interrupt still arrives");
         assert!(

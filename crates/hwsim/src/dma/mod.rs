@@ -3,7 +3,12 @@
 mod chain;
 mod engine;
 mod param;
+mod tc;
 
 pub use chain::{ChainError, ChainId, ChainManager, ChainPlan};
-pub use engine::{ConfiguredTransfer, DmaEngine, DmaOutcome, DmaStats, SgSegment, TransferId};
+pub use engine::{
+    AbortedTransfer, CompletionDelivery, ConfiguredTransfer, DmaEngine, DmaOutcome, DmaStats,
+    LaunchTicket, SgSegment, TransferId,
+};
 pub use param::{ParamSet, NULL_LINK, NUM_PARAM_SETS, PARAM_FIELDS};
+pub use tc::TcScheduler;

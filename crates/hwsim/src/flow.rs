@@ -16,12 +16,21 @@
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
-use crate::sim::{EventFn, EventId, Sim};
+use crate::sim::{EventId, EventWorld, Sim};
 use crate::time::{SimDuration, SimTime};
 
 /// Handle to a bandwidth resource (a memory node's bus, the DMA engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// The resource's stable index within its network (used by event
+    /// logs and diagnostics).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Handle to an active flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -247,21 +256,25 @@ impl FlowNet {
     }
 }
 
-/// [`FlowNet`] wired into the DES: completion callbacks fire as events,
-/// and the single pending timer is rescheduled whenever flows start,
-/// finish, or are cancelled.
+/// [`FlowNet`] wired into the DES: every flow carries a typed completion
+/// payload, and the single pending timer is rescheduled whenever flows
+/// start, finish, or are cancelled.
 ///
-/// `W` is the experiment's world type; the system stores a plain function
-/// pointer that locates itself within `W`, so its timer events can find
-/// it again without capturing references.
-pub struct FlowSystem<W> {
+/// `W` is the experiment's world type. The system stores a plain function
+/// pointer that constructs the world's "flow tick" event, so its timer
+/// can be scheduled without capturing code; the world's dispatcher routes
+/// that tick back into [`FlowSystem::on_tick`], which hands each finished
+/// flow's payload to [`EventWorld::dispatch`] *synchronously and in flow
+/// creation order* (so same-instant completions interleave exactly like
+/// direct calls would, and a logging dispatcher still sees them all).
+pub struct FlowSystem<W: EventWorld> {
     net: FlowNet,
-    callbacks: HashMap<u64, EventFn<W>>,
+    payloads: HashMap<u64, W::Event>,
     timer: Option<EventId>,
-    accessor: fn(&mut W) -> &mut FlowSystem<W>,
+    tick: fn() -> W::Event,
 }
 
-impl<W> std::fmt::Debug for FlowSystem<W> {
+impl<W: EventWorld> std::fmt::Debug for FlowSystem<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlowSystem")
             .field("active", &self.net.active())
@@ -270,15 +283,15 @@ impl<W> std::fmt::Debug for FlowSystem<W> {
     }
 }
 
-impl<W: 'static> FlowSystem<W> {
-    /// Creates a flow system. `accessor` must return this very instance
-    /// when applied to the world the simulation runs against.
-    pub fn new(accessor: fn(&mut W) -> &mut FlowSystem<W>) -> Self {
+impl<W: EventWorld> FlowSystem<W> {
+    /// Creates a flow system. `tick` constructs the world event that the
+    /// world's dispatcher must route to [`FlowSystem::on_tick`].
+    pub fn new(tick: fn() -> W::Event) -> Self {
         FlowSystem {
             net: FlowNet::new(),
-            callbacks: HashMap::new(),
+            payloads: HashMap::new(),
             timer: None,
-            accessor,
+            tick,
         }
     }
 
@@ -297,7 +310,7 @@ impl<W: 'static> FlowSystem<W> {
         &self.net
     }
 
-    /// Starts a flow whose completion runs `on_complete` as an event.
+    /// Starts a flow whose completion dispatches `on_complete`.
     ///
     /// # Panics
     ///
@@ -308,10 +321,10 @@ impl<W: 'static> FlowSystem<W> {
         resources: &[ResourceId],
         bytes: u64,
         demand_gbps: f64,
-        on_complete: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        on_complete: W::Event,
     ) -> FlowId {
         let id = self.net.start(sim.now(), resources, bytes, demand_gbps);
-        self.callbacks.insert(id.0, Box::new(on_complete));
+        self.payloads.insert(id.0, on_complete);
         self.rearm(sim);
         id
     }
@@ -328,11 +341,12 @@ impl<W: 'static> FlowSystem<W> {
         self.rearm(sim);
     }
 
-    /// Cancels a flow; its completion callback is dropped unrun. Returns
-    /// the unmoved bytes, or `None` if the flow had already completed.
+    /// Cancels a flow; its completion payload is dropped undispatched.
+    /// Returns the unmoved bytes, or `None` if the flow had already
+    /// completed.
     pub fn cancel_flow(&mut self, sim: &mut Sim<W>, id: FlowId) -> Option<u64> {
         let left = self.net.cancel(sim.now(), id)?;
-        self.callbacks.remove(&id.0);
+        self.payloads.remove(&id.0);
         self.rearm(sim);
         Some(left)
     }
@@ -342,23 +356,27 @@ impl<W: 'static> FlowSystem<W> {
             sim.cancel(t);
         }
         if let Some(at) = self.net.next_completion(sim.now()) {
-            let accessor = self.accessor;
-            self.timer = Some(sim.schedule_at(at, move |w, s| Self::on_timer(w, s, accessor)));
+            self.timer = Some(sim.schedule_at(at, (self.tick)()));
         }
     }
 
-    fn on_timer(world: &mut W, sim: &mut Sim<W>, accessor: fn(&mut W) -> &mut FlowSystem<W>) {
+    /// Handles the flow-tick event: collects flows that have finished by
+    /// `sim.now()`, rearms the timer, and dispatches each finished flow's
+    /// payload in creation order. The world's dispatcher must call this
+    /// for the event produced by its `tick` constructor.
+    pub fn on_tick(world: &mut W, sim: &mut Sim<W>, accessor: fn(&mut W) -> &mut FlowSystem<W>) {
         let this = accessor(world);
         this.timer = None;
         let finished = this.net.take_finished(sim.now());
-        let callbacks: Vec<EventFn<W>> = finished
+        let payloads: Vec<W::Event> = finished
             .iter()
-            .filter_map(|id| this.callbacks.remove(&id.0))
+            .filter_map(|id| this.payloads.remove(&id.0))
             .collect();
         this.rearm(sim);
-        // Borrow of `this` ends here; callbacks receive the full world.
-        for cb in callbacks {
-            cb(world, sim);
+        // Borrow of `this` ends here; payloads are dispatched against the
+        // full world.
+        for ev in payloads {
+            world.dispatch(sim, ev);
         }
     }
 }
@@ -456,26 +474,55 @@ mod tests {
     struct World {
         flows: FlowSystem<World>,
         completions: Vec<(u64, u64)>, // (flow tag, completion ns)
+        chain_resource: Option<ResourceId>,
     }
 
-    fn flows_of(w: &mut World) -> &mut FlowSystem<World> {
-        &mut w.flows
+    enum Ev {
+        FlowTick,
+        Done(u64),
+        DoneThenStart(u64),
+        Cancel(FlowId),
+        SetCapacity(ResourceId, f64),
+    }
+
+    impl EventWorld for World {
+        type Event = Ev;
+        fn dispatch(&mut self, sim: &mut Sim<Self>, event: Ev) {
+            match event {
+                Ev::FlowTick => FlowSystem::on_tick(self, sim, |w| &mut w.flows),
+                Ev::Done(tag) => self.completions.push((tag, sim.now().as_ns())),
+                Ev::DoneThenStart(tag) => {
+                    self.completions.push((tag, sim.now().as_ns()));
+                    let ddr = self.chain_resource.expect("chain resource set");
+                    self.flows
+                        .start_flow(sim, &[ddr], 500, 100.0, Ev::Done(tag + 1));
+                }
+                Ev::Cancel(id) => {
+                    let left = self.flows.cancel_flow(sim, id);
+                    assert_eq!(left, Some(900));
+                }
+                Ev::SetCapacity(r, gbps) => self.flows.set_capacity(sim, r, gbps),
+            }
+        }
+    }
+
+    fn world() -> World {
+        World {
+            flows: FlowSystem::new(|| Ev::FlowTick),
+            completions: Vec::new(),
+            chain_resource: None,
+        }
     }
 
     #[test]
     fn system_fires_completions_through_des() {
         let mut sim: Sim<World> = Sim::new();
-        let mut w = World {
-            flows: FlowSystem::new(flows_of),
-            completions: Vec::new(),
-        };
+        let mut w = world();
         let ddr = w.flows.add_resource("ddr", 2.0);
-        w.flows.start_flow(&mut sim, &[ddr], 2_000, 100.0, |w, s| {
-            w.completions.push((1, s.now().as_ns()));
-        });
-        w.flows.start_flow(&mut sim, &[ddr], 4_000, 100.0, |w, s| {
-            w.completions.push((2, s.now().as_ns()));
-        });
+        w.flows
+            .start_flow(&mut sim, &[ddr], 2_000, 100.0, Ev::Done(1));
+        w.flows
+            .start_flow(&mut sim, &[ddr], 4_000, 100.0, Ev::Done(2));
         sim.run(&mut w);
         // Flow 1: shares 1 GB/s until t=2000 (2000 bytes done).
         // Flow 2: 2000 bytes left at t=2000, then 2 GB/s => t=3000.
@@ -483,23 +530,14 @@ mod tests {
     }
 
     #[test]
-    fn system_cancel_drops_callback() {
+    fn system_cancel_drops_payload() {
         let mut sim: Sim<World> = Sim::new();
-        let mut w = World {
-            flows: FlowSystem::new(flows_of),
-            completions: Vec::new(),
-        };
+        let mut w = world();
         let ddr = w.flows.add_resource("ddr", 1.0);
-        let id = w.flows.start_flow(&mut sim, &[ddr], 1_000, 100.0, |w, s| {
-            w.completions.push((9, s.now().as_ns()));
-        });
-        sim.schedule_at(
-            SimTime::from_ns(100),
-            move |w: &mut World, s: &mut Sim<World>| {
-                let left = w.flows.cancel_flow(s, id);
-                assert_eq!(left, Some(900));
-            },
-        );
+        let id = w
+            .flows
+            .start_flow(&mut sim, &[ddr], 1_000, 100.0, Ev::Done(9));
+        sim.schedule_at(SimTime::from_ns(100), Ev::Cancel(id));
         sim.run(&mut w);
         assert!(w.completions.is_empty());
     }
@@ -507,47 +545,26 @@ mod tests {
     #[test]
     fn system_capacity_change_reschedules_timer() {
         let mut sim: Sim<World> = Sim::new();
-        let mut w = World {
-            flows: FlowSystem::new(flows_of),
-            completions: Vec::new(),
-        };
+        let mut w = world();
         let ddr = w.flows.add_resource("ddr", 2.0);
-        w.flows.start_flow(&mut sim, &[ddr], 4_000, 100.0, |w, s| {
-            w.completions.push((1, s.now().as_ns()));
-        });
+        w.flows
+            .start_flow(&mut sim, &[ddr], 4_000, 100.0, Ev::Done(1));
         // Brownout at t=1000 (half speed), recovery at t=2000.
-        sim.schedule_at(
-            SimTime::from_ns(1_000),
-            move |w: &mut World, s: &mut Sim<World>| {
-                w.flows.set_capacity(s, ddr, 1.0);
-            },
-        );
-        sim.schedule_at(
-            SimTime::from_ns(2_000),
-            move |w: &mut World, s: &mut Sim<World>| {
-                w.flows.set_capacity(s, ddr, 2.0);
-            },
-        );
+        sim.schedule_at(SimTime::from_ns(1_000), Ev::SetCapacity(ddr, 1.0));
+        sim.schedule_at(SimTime::from_ns(2_000), Ev::SetCapacity(ddr, 2.0));
         sim.run(&mut w);
         // 2000 bytes by t=1000, 1000 more by t=2000, last 1000 at 2 GB/s.
         assert_eq!(w.completions, vec![(1, 2_500)]);
     }
 
     #[test]
-    fn completion_callback_can_start_flows() {
+    fn completion_payload_can_start_flows() {
         let mut sim: Sim<World> = Sim::new();
-        let mut w = World {
-            flows: FlowSystem::new(flows_of),
-            completions: Vec::new(),
-        };
+        let mut w = world();
         let ddr = w.flows.add_resource("ddr", 1.0);
+        w.chain_resource = Some(ddr);
         w.flows
-            .start_flow(&mut sim, &[ddr], 500, 100.0, move |w, s| {
-                w.completions.push((1, s.now().as_ns()));
-                w.flows.start_flow(s, &[ddr], 500, 100.0, |w, s| {
-                    w.completions.push((2, s.now().as_ns()));
-                });
-            });
+            .start_flow(&mut sim, &[ddr], 500, 100.0, Ev::DoneThenStart(1));
         sim.run(&mut w);
         assert_eq!(w.completions, vec![(1, 500), (2, 1_000)]);
     }

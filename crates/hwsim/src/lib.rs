@@ -37,10 +37,11 @@ pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use dma::{CompletionDelivery, DmaOutcome, LaunchTicket, TcScheduler, TransferId};
 pub use fault::{Brownout, FaultInjector, FaultPlan, FaultStats, TransferFault};
 pub use flow::{FlowId, FlowNet, FlowSystem, ResourceId};
 pub use meter::{Context, Measurement, Phase, PhaseBreakdown, UsageMeter};
 pub use phys::{PhysAddr, PhysMem};
-pub use sim::{EventFn, EventId, Sim};
+pub use sim::{EventId, EventWorld, Sim};
 pub use time::{SimDuration, SimTime};
 pub use topology::{MemoryKind, MemoryNode, NodeId, Topology};

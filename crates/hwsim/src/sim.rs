@@ -1,11 +1,17 @@
 //! The discrete-event simulation engine.
 //!
-//! A minimal, deterministic DES: events are boxed closures ordered by
+//! A minimal, deterministic DES: events are *typed values* ordered by
 //! `(time, sequence-number)`, executed against a caller-supplied world
 //! `W`. The engine corresponds to the real machine's passage of time; all
 //! memif "actors" — application threads, the kernel worker, interrupt
 //! handlers, the DMA engine — are expressed as events that charge costs
 //! and schedule follow-ups.
+//!
+//! The queue stores data, not code: each world defines an event type
+//! (usually an enum) and one central [`EventWorld::dispatch`] that
+//! interprets it. That keeps every scheduled continuation inspectable —
+//! it can be logged, serialized, compared across runs, and routed — which
+//! is what makes simulations deterministically replayable.
 //!
 //! Events may be cancelled (needed by the bandwidth-sharing flow network,
 //! which reschedules completions whenever contention changes, and by the
@@ -21,27 +27,40 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-/// The type of every scheduled action.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+/// A world the simulation can drive: a state type plus the typed events
+/// that advance it.
+///
+/// `dispatch` is the *single* point where scheduled events are
+/// interpreted; the [`Sim`] never executes code of its own. Worlds are
+/// free to dispatch synthesized events recursively (e.g. a flow-network
+/// tick fanning out per-flow completion events) — recursion goes through
+/// `dispatch` too, so an event log captured there sees everything.
+pub trait EventWorld: Sized {
+    /// The typed event vocabulary of this world.
+    type Event;
 
-struct Scheduled<W> {
-    time: SimTime,
-    id: u64,
-    action: EventFn<W>,
+    /// Executes one event at the simulation's current time.
+    fn dispatch(&mut self, sim: &mut Sim<Self>, event: Self::Event);
 }
 
-impl<W> PartialEq for Scheduled<W> {
+struct Scheduled<E> {
+    time: SimTime,
+    id: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.id == other.id
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         // BinaryHeap is a max-heap; invert for earliest-first order.
         // Ties break by insertion order for determinism.
@@ -54,35 +73,49 @@ impl<W> Ord for Scheduled<W> {
 /// # Examples
 ///
 /// ```
-/// use memif_hwsim::{Sim, SimDuration, SimTime};
+/// use memif_hwsim::{EventWorld, Sim, SimDuration, SimTime};
 ///
 /// struct Counter(u32);
+/// enum Tick {
+///     Add(u32),
+///     AddLater(u32),
+/// }
+/// impl EventWorld for Counter {
+///     type Event = Tick;
+///     fn dispatch(&mut self, sim: &mut Sim<Self>, event: Tick) {
+///         match event {
+///             Tick::Add(n) => self.0 += n,
+///             Tick::AddLater(n) => {
+///                 // Events can schedule follow-ups.
+///                 sim.schedule_after(SimDuration::from_ns(50), Tick::Add(n));
+///             }
+///         }
+///     }
+/// }
+///
 /// let mut sim: Sim<Counter> = Sim::new();
 /// let mut world = Counter(0);
-/// sim.schedule_at(SimTime::from_ns(100), |w: &mut Counter, s| {
-///     w.0 += 1;
-///     // Events can schedule follow-ups.
-///     s.schedule_after(SimDuration::from_ns(50), |w: &mut Counter, _| w.0 += 10);
-/// });
+/// sim.schedule_at(SimTime::from_ns(100), Tick::Add(1));
+/// sim.schedule_at(SimTime::from_ns(100), Tick::AddLater(10));
 /// sim.run(&mut world);
 /// assert_eq!(world.0, 11);
 /// assert_eq!(sim.now(), SimTime::from_ns(150));
 /// ```
-pub struct Sim<W> {
+pub struct Sim<W: EventWorld> {
     now: SimTime,
-    heap: BinaryHeap<Scheduled<W>>,
+    heap: BinaryHeap<Scheduled<W::Event>>,
     next_id: u64,
     cancelled: HashSet<u64>,
     executed: u64,
 }
 
-impl<W> Default for Sim<W> {
+impl<W: EventWorld> Default for Sim<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> std::fmt::Debug for Sim<W> {
+impl<W: EventWorld> std::fmt::Debug for Sim<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
@@ -92,7 +125,7 @@ impl<W> std::fmt::Debug for Sim<W> {
     }
 }
 
-impl<W> Sim<W> {
+impl<W: EventWorld> Sim<W> {
     /// A simulation at time zero with no pending events.
     #[must_use]
     pub fn new() -> Self {
@@ -126,16 +159,12 @@ impl<W> Sim<W> {
             .count()
     }
 
-    /// Schedules `action` at absolute time `at`.
+    /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past.
-    pub fn schedule_at(
-        &mut self,
-        at: SimTime,
-        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
-    ) -> EventId {
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) -> EventId {
         assert!(
             at >= self.now,
             "cannot schedule into the past ({at} < {})",
@@ -146,18 +175,14 @@ impl<W> Sim<W> {
         self.heap.push(Scheduled {
             time: at,
             id,
-            action: Box::new(action),
+            event,
         });
         EventId(id)
     }
 
-    /// Schedules `action` after a delay.
-    pub fn schedule_after(
-        &mut self,
-        delay: SimDuration,
-        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
-    ) -> EventId {
-        self.schedule_at(self.now + delay, action)
+    /// Schedules `event` after a delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: W::Event) -> EventId {
+        self.schedule_at(self.now + delay, event)
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
@@ -175,7 +200,7 @@ impl<W> Sim<W> {
             debug_assert!(ev.time >= self.now);
             self.now = ev.time;
             self.executed += 1;
-            (ev.action)(world, self);
+            world.dispatch(self, ev.event);
             return true;
         }
         false
@@ -219,19 +244,36 @@ mod tests {
         log: Vec<(u64, &'static str)>,
     }
 
+    enum Ev {
+        Log(&'static str),
+        LogAt(u64, &'static str),
+        Chain(&'static str),
+        SchedulePast,
+    }
+
+    impl EventWorld for World {
+        type Event = Ev;
+        fn dispatch(&mut self, sim: &mut Sim<Self>, event: Ev) {
+            match event {
+                Ev::Log(tag) => self.log.push((sim.now().as_ns(), tag)),
+                Ev::LogAt(at, tag) => self.log.push((at, tag)),
+                Ev::Chain(tag) => {
+                    sim.schedule_after(SimDuration::from_ns(4), Ev::Log(tag));
+                }
+                Ev::SchedulePast => {
+                    sim.schedule_at(SimTime::from_ns(5), Ev::Log("never"));
+                }
+            }
+        }
+    }
+
     #[test]
     fn events_run_in_time_order() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
-        sim.schedule_at(SimTime::from_ns(30), |w, s| {
-            w.log.push((s.now().as_ns(), "c"))
-        });
-        sim.schedule_at(SimTime::from_ns(10), |w, s| {
-            w.log.push((s.now().as_ns(), "a"))
-        });
-        sim.schedule_at(SimTime::from_ns(20), |w, s| {
-            w.log.push((s.now().as_ns(), "b"))
-        });
+        sim.schedule_at(SimTime::from_ns(30), Ev::Log("c"));
+        sim.schedule_at(SimTime::from_ns(10), Ev::Log("a"));
+        sim.schedule_at(SimTime::from_ns(20), Ev::Log("b"));
         sim.run(&mut w);
         assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
         assert_eq!(sim.now(), SimTime::from_ns(30));
@@ -243,8 +285,8 @@ mod tests {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
         let t = SimTime::from_ns(5);
-        sim.schedule_at(t, |w, _| w.log.push((0, "first")));
-        sim.schedule_at(t, |w, _| w.log.push((0, "second")));
+        sim.schedule_at(t, Ev::LogAt(0, "first"));
+        sim.schedule_at(t, Ev::LogAt(0, "second"));
         sim.run(&mut w);
         assert_eq!(w.log, vec![(0, "first"), (0, "second")]);
     }
@@ -253,14 +295,7 @@ mod tests {
     fn events_can_schedule_events() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
-        sim.schedule_at(SimTime::from_ns(1), |_, s| {
-            s.schedule_after(
-                SimDuration::from_ns(4),
-                |w: &mut World, s: &mut Sim<World>| {
-                    w.log.push((s.now().as_ns(), "chained"));
-                },
-            );
-        });
+        sim.schedule_at(SimTime::from_ns(1), Ev::Chain("chained"));
         sim.run(&mut w);
         assert_eq!(w.log, vec![(5, "chained")]);
     }
@@ -269,8 +304,8 @@ mod tests {
     fn cancellation() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
-        let id = sim.schedule_at(SimTime::from_ns(10), |w, _| w.log.push((0, "cancelled")));
-        sim.schedule_at(SimTime::from_ns(5), |w, _| w.log.push((0, "kept")));
+        let id = sim.schedule_at(SimTime::from_ns(10), Ev::LogAt(0, "cancelled"));
+        sim.schedule_at(SimTime::from_ns(5), Ev::LogAt(0, "kept"));
         sim.cancel(id);
         sim.run(&mut w);
         assert_eq!(w.log, vec![(0, "kept")]);
@@ -281,8 +316,8 @@ mod tests {
     fn run_until_stops_the_clock() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
-        sim.schedule_at(SimTime::from_ns(10), |w, _| w.log.push((0, "early")));
-        sim.schedule_at(SimTime::from_ns(100), |w, _| w.log.push((0, "late")));
+        sim.schedule_at(SimTime::from_ns(10), Ev::LogAt(0, "early"));
+        sim.schedule_at(SimTime::from_ns(100), Ev::LogAt(0, "late"));
         sim.run_until(&mut w, SimTime::from_ns(50));
         assert_eq!(w.log, vec![(0, "early")]);
         assert_eq!(sim.now(), SimTime::from_ns(10));
@@ -295,9 +330,7 @@ mod tests {
     fn scheduling_into_past_panics() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
-        sim.schedule_at(SimTime::from_ns(10), |_, s| {
-            s.schedule_at(SimTime::from_ns(5), |_, _| {});
-        });
+        sim.schedule_at(SimTime::from_ns(10), Ev::SchedulePast);
         sim.run(&mut w);
     }
 }

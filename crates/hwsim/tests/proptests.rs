@@ -3,7 +3,7 @@
 //! descriptor accounting.
 
 use memif_hwsim::dma::ChainManager;
-use memif_hwsim::{FlowNet, Sim, SimTime};
+use memif_hwsim::{EventWorld, FlowNet, Sim, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -16,13 +16,17 @@ proptest! {
         struct W {
             fired: Vec<u64>,
         }
+        impl EventWorld for W {
+            type Event = u64;
+            fn dispatch(&mut self, sim: &mut Sim<Self>, t: u64) {
+                assert_eq!(sim.now().as_ns(), t, "event fires at its scheduled instant");
+                self.fired.push(t);
+            }
+        }
         let mut sim: Sim<W> = Sim::new();
         let mut w = W { fired: Vec::new() };
         for &t in &times {
-            sim.schedule_at(SimTime::from_ns(t), move |w: &mut W, s: &mut Sim<W>| {
-                assert_eq!(s.now().as_ns(), t, "event fires at its scheduled instant");
-                w.fired.push(t);
-            });
+            sim.schedule_at(SimTime::from_ns(t), t);
         }
         sim.run(&mut w);
         let mut sorted = times.clone();
@@ -40,12 +44,18 @@ proptest! {
         struct W {
             fired: Vec<usize>,
         }
+        impl EventWorld for W {
+            type Event = usize;
+            fn dispatch(&mut self, _sim: &mut Sim<Self>, i: usize) {
+                self.fired.push(i);
+            }
+        }
         let mut sim: Sim<W> = Sim::new();
         let mut w = W { fired: Vec::new() };
         let ids: Vec<_> = times
             .iter()
             .enumerate()
-            .map(|(i, &t)| sim.schedule_at(SimTime::from_ns(t), move |w: &mut W, _| w.fired.push(i)))
+            .map(|(i, &t)| sim.schedule_at(SimTime::from_ns(t), i))
             .collect();
         let mut expect: Vec<(u64, usize)> = Vec::new();
         for (i, id) in ids.iter().enumerate() {

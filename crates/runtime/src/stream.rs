@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use memif::{Memif, MoveSpec, Sim, SimDuration, SimTime, SpaceId, System};
+use memif::{Memif, MoveSpec, Sim, SimDuration, SimEvent, SimTime, SpaceId, System};
 use memif_hwsim::{Context, MemoryKind, ResourceId};
 use memif_mm::{PageSize, VirtAddr};
 
@@ -294,10 +294,12 @@ impl StreamRuntime {
         }
         let memif = inner.borrow().memif.expect("prefetch mode");
         let inner2 = Rc::clone(inner);
-        memif.poll(sys, sim, move |sys, sim| {
-            inner2.borrow_mut().poll_armed = false;
-            Self::drain_completions(&inner2, sys, sim);
-        });
+        memif
+            .poll(sys, sim, move |sys, sim| {
+                inner2.borrow_mut().poll_armed = false;
+                Self::drain_completions(&inner2, sys, sim);
+            })
+            .expect("device open for the run");
     }
 
     fn drain_completions(inner: &Rc<RefCell<Inner>>, sys: &mut System, sim: &mut Sim<System>) {
@@ -472,23 +474,26 @@ impl StreamRuntime {
             let inner3 = Rc::clone(&inner2);
             sys.meter
                 .charge(Context::App, SimDuration::from_ns(compute_ns));
-            sim.schedule_after(SimDuration::from_ns(compute_ns), move |sys, sim| {
-                {
-                    let mut me = inner3.borrow_mut();
-                    me.consumed += input;
-                    me.traffic += read_bytes + write_bytes;
-                    me.compute_busy = false;
-                }
-                // "Immediately after any buffer is consumed, the runtime
-                // requests to fill the buffer with fresh data again."
-                if let Some(idx) = buffer {
-                    if Self::remaining_unclaimed(&inner3.borrow()) > 0 {
-                        Self::submit_fill(&inner3, sys, sim, idx);
-                        Self::arm_poll(&inner3, sys, sim);
+            sim.schedule_after(
+                SimDuration::from_ns(compute_ns),
+                SimEvent::call(move |sys, sim| {
+                    {
+                        let mut me = inner3.borrow_mut();
+                        me.consumed += input;
+                        me.traffic += read_bytes + write_bytes;
+                        me.compute_busy = false;
                     }
-                }
-                Self::schedule_compute(&inner3, sys, sim);
-            });
+                    // "Immediately after any buffer is consumed, the runtime
+                    // requests to fill the buffer with fresh data again."
+                    if let Some(idx) = buffer {
+                        if Self::remaining_unclaimed(&inner3.borrow()) > 0 {
+                            Self::submit_fill(&inner3, sys, sim, idx);
+                            Self::arm_poll(&inner3, sys, sim);
+                        }
+                    }
+                    Self::schedule_compute(&inner3, sys, sim);
+                }),
+            );
         };
 
         let slow_res = inner.borrow().slow_res;
@@ -501,17 +506,22 @@ impl StreamRuntime {
             &[read_res],
             read_bytes.max(1),
             read_demand,
-            move |sys, sim| {
+            SimEvent::call(move |sys, sim| {
                 if write_bytes > 0 {
                     let charge_write =
                         SimDuration::from_ns((write_bytes as f64 / write_demand) as u64);
                     sys.meter.charge(Context::App, charge_write);
-                    sys.flows
-                        .start_flow(sim, &[slow_res], write_bytes, write_demand, after_write);
+                    sys.flows.start_flow(
+                        sim,
+                        &[slow_res],
+                        write_bytes,
+                        write_demand,
+                        SimEvent::call(after_write),
+                    );
                 } else {
                     after_write(sys, sim);
                 }
-            },
+            }),
         );
     }
 }

@@ -278,10 +278,12 @@ impl FastPool {
         }
         let memif = inner.borrow().memif;
         let inner2 = Rc::clone(inner);
-        memif.poll(sys, sim, move |sys, sim| {
-            inner2.borrow_mut().poll_armed = false;
-            Self::on_completions(&inner2, sys, sim);
-        });
+        memif
+            .poll(sys, sim, move |sys, sim| {
+                inner2.borrow_mut().poll_armed = false;
+                Self::on_completions(&inner2, sys, sim);
+            })
+            .expect("pool device open");
     }
 
     fn on_completions(inner: &Rc<RefCell<Inner>>, sys: &mut System, sim: &mut Sim<System>) {

@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --example hot_region_migration`
 
-use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, SimDuration, SimTime, System};
+use memif::{
+    Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, SimDuration, SimEvent, SimTime, System,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -98,14 +100,19 @@ fn run(proactive: bool) -> SimTime {
                     .expect("prefetch");
             }
             // Drain notifications in the background so slots recycle.
-            memif.poll(sys, sim, move |sys, _| {
-                while memif.retrieve_completed(sys).expect("retrieve").is_some() {}
-            });
+            memif
+                .poll(sys, sim, move |sys, _| {
+                    while memif.retrieve_completed(sys).expect("retrieve").is_some() {}
+                })
+                .expect("device open");
         }
         let compute = phase_compute_time(sys, space, regions[p]);
-        sim.schedule_after(compute, move |sys: &mut System, sim| {
-            phase(p + 1, regions, memif, space, proactive, finished, sys, sim);
-        });
+        sim.schedule_after(
+            compute,
+            SimEvent::call(move |sys: &mut System, sim| {
+                phase(p + 1, regions, memif, space, proactive, finished, sys, sim);
+            }),
+        );
     }
 
     // Warm start: phase 0's region is prefetched before compute begins
@@ -127,9 +134,12 @@ fn run(proactive: bool) -> SimTime {
     };
     let f2 = Rc::clone(&finished);
     let r2 = Rc::clone(&regions);
-    sim.schedule_after(start_delay, move |sys: &mut System, sim| {
-        phase(0, r2, memif, space, proactive, f2, sys, sim);
-    });
+    sim.schedule_after(
+        start_delay,
+        SimEvent::call(move |sys: &mut System, sim| {
+            phase(0, r2, memif, space, proactive, f2, sys, sim);
+        }),
+    );
     sim.run(&mut sys);
     let t = *finished.borrow();
     assert!(t > SimTime::ZERO, "all phases completed");

@@ -95,7 +95,9 @@ fn main() {
         }
         if t.borrow().completed < REQUESTS {
             let t2 = Rc::clone(&t);
-            memif.poll(sys, sim, move |sys, sim| pump(t2, sys, sim));
+            memif
+                .poll(sys, sim, move |sys, sim| pump(t2, sys, sim))
+                .expect("device open");
         }
     }
 

@@ -53,7 +53,7 @@ fn main() {
 
     // poll(fdset): sleep until notifications arrive, like a network
     // server waiting for I/O events.
-    memif.poll(&mut sys, &mut sim, move |sys, sim| {
+    let polled = memif.poll(&mut sys, &mut sim, move |sys, sim| {
         println!("woke from poll() at {}", sim.now());
         while let Some(c) = memif.retrieve_completed(sys).expect("retrieve") {
             println!(
@@ -65,6 +65,7 @@ fn main() {
             );
         }
     });
+    polled.expect("device open");
     sim.run(&mut sys);
 
     // Verify: the destination holds the payload, and the source region's

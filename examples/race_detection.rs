@@ -11,7 +11,8 @@
 //! Run with: `cargo run --example race_detection`
 
 use memif::{
-    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimTime, SpaceId, System,
+    Memif, MemifConfig, MoveSpec, NodeId, PageSize, RaceMode, Sim, SimEvent, SimTime, SpaceId,
+    System,
 };
 use memif_mm::AccessKind;
 
@@ -42,12 +43,15 @@ fn proceed_and_fail() {
 
     // The racing access: reading a migrating page clears the young bit
     // of its semi-final PTE.
-    sim.schedule_at(SimTime::from_ns(500), move |sys: &mut System, _| {
-        sys.space_mut(SpaceId(0))
-            .access(region, AccessKind::Read)
-            .expect("reads proceed");
-        println!("  [app] read the first page during the DMA window");
-    });
+    sim.schedule_at(
+        SimTime::from_ns(500),
+        SimEvent::call(move |sys: &mut System, _| {
+            sys.space_mut(SpaceId(0))
+                .access(region, AccessKind::Read)
+                .expect("reads proceed");
+            println!("  [app] read the first page during the DMA window");
+        }),
+    );
     sim.run(&mut sys);
 
     let c = memif
@@ -91,13 +95,16 @@ fn proceed_and_recover() {
         .expect("submit");
     println!("migration submitted; application *writes* the region mid-flight...");
 
-    sim.schedule_at(SimTime::from_ns(500), move |sys: &mut System, sim| {
-        // The store traps on the write-watched page; the fault handler
-        // aborts the migration and the store retries successfully.
-        sys.cpu_write(sim, SpaceId(0), region.offset(64), &[0xCD])
-            .expect("write preserved");
-        println!("  [app] store trapped, migration aborted, store retried and landed");
-    });
+    sim.schedule_at(
+        SimTime::from_ns(500),
+        SimEvent::call(move |sys: &mut System, sim| {
+            // The store traps on the write-watched page; the fault handler
+            // aborts the migration and the store retries successfully.
+            sys.cpu_write(sim, SpaceId(0), region.offset(64), &[0xCD])
+                .expect("write preserved");
+            println!("  [app] store trapped, migration aborted, store retried and landed");
+        }),
+    );
     sim.run(&mut sys);
 
     let c = memif
