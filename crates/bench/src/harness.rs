@@ -208,6 +208,11 @@ pub struct StreamResult {
     pub dma_errors: u64,
     /// Requests that reached a `Failed` terminal status.
     pub failed: u64,
+    /// The device's full driver counters at the end of the run
+    /// (batching/coalescing analysis reads `requests_batched`,
+    /// `segments_coalesced`, `descriptors_written`,
+    /// `descriptor_writes_saved`, and the phase breakdown from here).
+    pub stats: memif::DriverStats,
 }
 
 /// Streams `count` identical memif requests, keeping up to `window`
@@ -490,6 +495,7 @@ fn run_stream(
         timeouts: dev.stats.timeouts,
         dma_errors: dev.stats.dma_errors,
         failed: st.failed,
+        stats: dev.stats.clone(),
     };
     drop(st);
     LoggedStream {
@@ -582,5 +588,6 @@ pub fn stream_linux(
         timeouts: 0,
         dma_errors: 0,
         failed: 0,
+        stats: memif::DriverStats::default(),
     }
 }

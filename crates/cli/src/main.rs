@@ -8,6 +8,8 @@
 //!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
 //!                   [--delay-rate R] [--desc-exhaust-rate R] [--max-retries N]
 //!                   [--no-fallback true] [--tc-count N] [--trace-events PATH]
+//!                   [--batch-max N] [--no-coalesce true]
+//! memifctl stats    [same flags as move]
 //! memifctl replay   --from PATH
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
 //!                   [--input-mib 64]
@@ -33,6 +35,7 @@ fn main() {
         Some("topology") => topology(&args),
         Some("migspeed") => migspeed(&args),
         Some("move") => do_move(&args),
+        Some("stats") => stats(&args),
         Some("replay") => replay(&args),
         Some("stream") => stream(&args),
         Some("timeline") => timeline(&args),
@@ -54,6 +57,7 @@ commands:
   topology   show the pseudo-NUMA memory topology
   migspeed   Linux page-migration throughput (the numactl utility)
   move       stream memif move requests and report throughput/latency
+  stats      run a move scenario and dump the full driver counter set
   replay     re-run a recorded trace and verify it is bit-identical
   stream     run a Table 4 streaming workload on the mini runtime
   timeline   trace a short run across the driver's execution contexts
@@ -71,6 +75,13 @@ flags: --fault-seed N, --dma-error-rate R, --drop-rate R, --delay-rate R,
 multi-channel DMA (move): --tc-count N models N independent transfer-
 controller bandwidth channels (default 1, the paper's configuration);
 launches are routed to the least-loaded channel.
+
+request batching (move/stats): --batch-max N lets the kernel thread
+drain up to N compatible queued requests into one chained SG launch
+with a single completion interrupt (default 1 = classic per-request
+issue). Batched runs also coalesce physically contiguous segments into
+one descriptor; --no-coalesce true keeps one descriptor per page.
+`memifctl stats --batch-max 16` shows the issue-side savings.
 
 event traces (move): --trace-events <path> records the run's typed
 event log as JSON lines (one `#!` header, one `#=` terminal-status line
@@ -186,12 +197,19 @@ fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
         Some("replicate") => ShapeKind::Replicate,
         Some(other) => return Err(format!("--kind: unknown kind '{other}'")),
     };
+    let batch_max = args.get_or("batch-max", 1usize)?;
+    // Coalescing rides batching: a batched run merges physically
+    // contiguous segments unless --no-coalesce true; the default
+    // (batch-max 1) keeps the classic one-descriptor-per-page path.
+    let no_coalesce = args.get_or("no-coalesce", false)?;
     let config = MemifConfig {
         descriptor_reuse: !args.get_or("no-reuse", false)?,
         gang_lookup: !args.get_or("no-gang", false)?,
         pipeline_depth: args.get_or("depth", 2usize)?,
         max_dma_retries: args.get_or("max-retries", 3u32)?,
         cpu_fallback: !args.get_or("no-fallback", false)?,
+        batch_max,
+        coalesce: batch_max > 1 && !no_coalesce,
         ..MemifConfig::default()
     };
     let plan = memif::FaultPlan {
@@ -220,7 +238,8 @@ fn trace_header(args: &Args, s: &MoveScenario) -> String {
     format!(
         "#! move kind={} page-size={} pages={} count={} window={} depth={} max-retries={} \
          no-fallback={} no-reuse={} no-gang={} profile={} tc-count={} fault-seed={} \
-         dma-error-rate={} drop-rate={} delay-rate={} desc-exhaust-rate={}",
+         dma-error-rate={} drop-rate={} delay-rate={} desc-exhaust-rate={} \
+         batch-max={} no-coalesce={}",
         match s.kind {
             ShapeKind::Migrate => "migrate",
             ShapeKind::Replicate => "replicate",
@@ -245,6 +264,8 @@ fn trace_header(args: &Args, s: &MoveScenario) -> String {
         plan.drop_rate,
         plan.delay_rate,
         plan.desc_exhaust_rate,
+        s.config.batch_max,
+        s.config.batch_max > 1 && !s.config.coalesce,
     )
 }
 
@@ -264,6 +285,7 @@ fn run_logged(s: &MoveScenario) -> memif_bench::LoggedStream {
 fn do_move(args: &Args) -> Result<(), String> {
     let s = move_scenario(args)?;
     let chaos = s.plan.is_some();
+    let batch_max = s.config.batch_max;
     let (kind, pages, count) = (s.kind, s.pages, s.count);
     let page_size = s.page_size;
 
@@ -319,6 +341,72 @@ fn do_move(args: &Args) -> Result<(), String> {
             r.retries, r.timeouts, r.dma_errors, r.fallbacks, r.failed
         );
     }
+    if batch_max > 1 {
+        println!(
+            "batching: batched: {}   coalesced: {}   descriptors: {}   writes saved: {}",
+            r.stats.requests_batched,
+            r.stats.segments_coalesced,
+            r.stats.descriptors_written,
+            r.stats.descriptor_writes_saved
+        );
+    }
+    Ok(())
+}
+
+/// Runs a `move` scenario and dumps every [`memif::DriverStats`]
+/// counter, including the batching/coalescing set, as a table.
+fn stats(args: &Args) -> Result<(), String> {
+    let s = move_scenario(args)?;
+    let title = format!(
+        "driver stats: {} x {} {} pages ({:?}), batch-max {}{}",
+        s.count,
+        s.pages,
+        s.page_size,
+        s.kind,
+        s.config.batch_max,
+        if s.config.coalesce { " + coalesce" } else { "" },
+    );
+    let r = stream_memif_with_faults(
+        &s.cost,
+        s.config,
+        s.kind,
+        s.page_size,
+        s.pages,
+        s.count,
+        s.window,
+        s.plan,
+    );
+    let st = &r.stats;
+    let mut table = Table::new(title, &["counter", "value"]);
+    let rows: &[(&str, u64)] = &[
+        ("submitted", st.submitted),
+        ("completed", st.completed),
+        ("failed", st.failed),
+        ("ioctls", st.ioctls),
+        ("interrupts", st.interrupts),
+        ("polled", st.polled),
+        ("kthread_wakeups", st.kthread_wakeups),
+        ("races_detected", st.races_detected),
+        ("aborts", st.aborts),
+        ("timeouts", st.timeouts),
+        ("dma_errors", st.dma_errors),
+        ("retries", st.retries),
+        ("fallbacks", st.fallbacks),
+        ("bytes_moved", st.bytes_moved),
+        ("requests_batched", st.requests_batched),
+        ("segments_coalesced", st.segments_coalesced),
+        ("descriptors_written", st.descriptors_written),
+        ("descriptor_writes_saved", st.descriptor_writes_saved),
+        ("requests_deferred", st.requests_deferred),
+    ];
+    for (name, value) in rows {
+        table.row(&[(*name).to_owned(), value.to_string()]);
+    }
+    table.print();
+    println!("issue-side cpu (DmaConfig + Interface): {}", {
+        use memif::Phase;
+        st.phases.get(Phase::DmaConfig) + st.phases.get(Phase::Interface)
+    });
     Ok(())
 }
 

@@ -72,6 +72,19 @@ pub struct MemifConfig {
     /// (4 µs/page-class memcpy charged to the kernel thread) instead of
     /// failing the request. Off = deliver `MoveStatus::Failed`.
     pub cpu_fallback: bool,
+    /// How many compatible queued requests (same kind, same page size)
+    /// the kernel thread may drain into one chained scatter-gather
+    /// launch per scheduling round. The batch completes with a single
+    /// interrupt whose handler fans status back out per request. 1
+    /// (default) reproduces the classic one-request-per-wake issue path
+    /// exactly.
+    pub batch_max: usize,
+    /// Merge adjacent scatter-gather segments whose source and
+    /// destination frames are both physically contiguous into one larger
+    /// descriptor, so descriptor-write cost is paid per merged
+    /// descriptor. Off by default: the seed figures dedicate one
+    /// descriptor per page.
+    pub coalesce: bool,
 }
 
 impl Default for MemifConfig {
@@ -88,6 +101,8 @@ impl Default for MemifConfig {
             watchdog_factor: 8,
             watchdog_slack: SimDuration::from_us(100),
             cpu_fallback: true,
+            batch_max: 1,
+            coalesce: false,
         }
     }
 }
@@ -115,5 +130,12 @@ mod tests {
         assert_eq!(c.watchdog_factor, 8);
         assert_eq!(c.watchdog_slack, SimDuration::from_us(100));
         assert!(c.cpu_fallback);
+    }
+
+    #[test]
+    fn batching_defaults_preserve_seed_behaviour() {
+        let c = MemifConfig::default();
+        assert_eq!(c.batch_max, 1, "one request per wake, as the seed");
+        assert!(!c.coalesce, "one descriptor per page, as the seed");
     }
 }

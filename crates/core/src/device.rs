@@ -81,6 +81,21 @@ pub struct DriverStats {
     pub fallbacks: u64,
     /// Bytes successfully moved.
     pub bytes_moved: u64,
+    /// Requests issued as part of a multi-request chained batch (counts
+    /// every request in a batch of two or more, never solo launches).
+    pub requests_batched: u64,
+    /// Scatter-gather segments eliminated by merging physically
+    /// contiguous neighbors into one descriptor.
+    pub segments_coalesced: u64,
+    /// PaRAM descriptors actually programmed (full or reuse-patched),
+    /// across first launches and retries.
+    pub descriptors_written: u64,
+    /// Uncached descriptor field writes avoided by coalescing
+    /// (eliminated segments × the PaRAM set's field count).
+    pub descriptor_writes_saved: u64,
+    /// Requests held back at issue because their address range overlaps
+    /// a still-in-flight request (same-region hazard guard).
+    pub requests_deferred: u64,
     /// Driver cost per phase (Figure 6 columns).
     pub phases: PhaseBreakdown,
 }
@@ -136,6 +151,35 @@ pub(crate) struct Inflight {
     /// The armed per-request watchdog event, cancelled on completion.
     /// `None` on the fault-free path (watchdogs are chaos-only).
     pub watchdog: Option<memif_hwsim::EventId>,
+    /// Tokens of the member requests riding this request's chained
+    /// scatter-gather launch, in chain order. Non-empty only on a batch
+    /// leader while the combined transfer is outstanding; completion or
+    /// failure disbands the batch.
+    pub batch_members: Vec<u64>,
+    /// For a batch member: the token of the leader whose transfer
+    /// carries this request's segments.
+    pub batch_leader: Option<u64>,
+    /// Byte offset of this request's first segment within the launched
+    /// chain (0 for solo requests and leaders). A mid-chain DMA error
+    /// reporting `bytes_done` completed exactly the requests whose
+    /// `chain_offset + own bytes <= bytes_done`.
+    pub chain_offset: u64,
+}
+
+/// Reusable per-device working buffers for request planning. Taken out
+/// of the device for the duration of one plan (sidestepping borrow
+/// conflicts with the address-space walks) and put back afterwards, so
+/// steady-state planning allocates nothing beyond the exact-size
+/// vectors that outlive the plan on the in-flight record.
+#[derive(Debug, Default)]
+pub(crate) struct PlanScratch {
+    /// Gang-lookup results (migration source / replication source).
+    pub ptes: Vec<Option<Pte>>,
+    /// Gang-lookup results for replication's destination region.
+    pub dst_ptes: Vec<Option<Pte>>,
+    /// Scatter-gather build area; coalescing runs in place here before
+    /// the exact-size copy that rides the in-flight record.
+    pub segments: Vec<memif_hwsim::dma::SgSegment>,
 }
 
 /// An open memif device.
@@ -153,6 +197,14 @@ pub struct MemifDevice {
     /// Completion log.
     pub log: Vec<CompletionRecord>,
     pub(crate) inflight: Vec<Inflight>,
+    /// Dequeued requests parked because their address range overlaps a
+    /// still-in-flight request: planning them now would overwrite the
+    /// in-flight remap's semi-final PTEs and turn a driver-visible
+    /// ordering hazard into a spurious `Raced`. Re-examined (FIFO) every
+    /// worker round; a parked request issues once its conflict retires.
+    pub(crate) deferred: Vec<memif_lockfree::Dequeued>,
+    /// Planning scratch buffers, reused across requests.
+    pub(crate) scratch: PlanScratch,
     /// The kernel worker's CPU is occupied until this instant (it
     /// prepares requests one at a time even when transfers overlap).
     pub(crate) kthread_busy_until: SimTime,
@@ -189,6 +241,8 @@ impl MemifDevice {
             stats: DriverStats::default(),
             log: Vec::new(),
             inflight: Vec::new(),
+            deferred: Vec::new(),
+            scratch: PlanScratch::default(),
             kthread_busy_until: SimTime::ZERO,
             next_req_id: 0,
             next_token: 0,

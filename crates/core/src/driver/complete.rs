@@ -28,12 +28,13 @@ pub(crate) fn on_dma_complete(
         return; // aborted concurrently
     };
 
-    if let DmaOutcome::Error { .. } = outcome {
+    if let DmaOutcome::Error { bytes_done } = outcome {
         // Error interrupt: the engine faulted mid-transfer. The partial
-        // destination bytes are untrusted and discarded; retire this
-        // attempt and route the request into the retry machinery. The
-        // controller slot is released exactly once: only if the engine
-        // still held the transfer (complete returns true).
+        // destination bytes of the faulting request are untrusted and
+        // discarded; retire this attempt and route the request into the
+        // retry machinery. The controller slot is released exactly once:
+        // only if the engine still held the transfer (complete returns
+        // true).
         let held_tc = dev_mut(sys, id).inflight[index].tc.take();
         if sys.dma.complete(transfer, outcome) {
             if let Some(tc) = held_tc {
@@ -42,10 +43,14 @@ pub(crate) fn on_dma_complete(
         }
         let irq_cost = sys.cost.interrupt;
         sys.meter.charge(Context::Interrupt, irq_cost);
-        let (token, req_id) = {
+        let (token, req_id, members) = {
             let inflight = &mut dev_mut(sys, id).inflight[index];
             inflight.transfer = None;
-            (inflight.token, inflight.req.id)
+            (
+                inflight.token,
+                inflight.req.id,
+                std::mem::take(&mut inflight.batch_members),
+            )
         };
         dev_mut(sys, id).stats.dma_errors += 1;
         sys.trace_emit(
@@ -55,14 +60,67 @@ pub(crate) fn on_dma_complete(
             "DMA error interrupt",
             Some(req_id),
         );
-        crate::driver::exec::handle_dma_failure(sys, sim, id, token, FailReason::DmaError);
+        if members.is_empty() {
+            crate::driver::exec::handle_dma_failure(sys, sim, id, token, FailReason::DmaError);
+            return;
+        }
+        // Chained batch: descriptors run in order, so segments before
+        // the fault point finished and their bytes sit at the
+        // destination. Attribute per request by each one's byte range
+        // within the chain — fully-finished requests complete normally
+        // off this (single) error interrupt; the faulting request and
+        // everything after it retry or degrade individually.
+        for t in std::iter::once(token).chain(members) {
+            let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == t) else {
+                continue; // aborted mid-flight
+            };
+            i.batch_leader = None;
+            let own_bytes: u64 = i.segments.iter().map(|s| s.bytes).sum();
+            let finished = i.chain_offset + own_bytes <= bytes_done;
+            i.chain_offset = 0;
+            if finished {
+                i.completed = true;
+                if let Some(w) = i.watchdog.take() {
+                    sim.cancel(w);
+                }
+                let segments = i.segments.clone();
+                for seg in &segments {
+                    sys.phys.copy(seg.src, seg.dst, seg.bytes);
+                }
+                sim.schedule_after(
+                    irq_cost,
+                    SimEvent::IrqRelease {
+                        device: id,
+                        token: t,
+                    },
+                );
+            } else {
+                crate::driver::exec::handle_dma_failure(sys, sim, id, t, FailReason::DmaError);
+            }
+        }
         return;
     }
 
-    // The bytes materialize now: perform the programmed copies.
+    // The bytes materialize now: perform the programmed copies — the
+    // found request's own segments plus, for a chained batch, each
+    // surviving member's.
+    let member_tokens = std::mem::take(&mut dev_mut(sys, id).inflight[index].batch_members);
     let segments = dev(sys, id).inflight[index].segments.clone();
     for seg in &segments {
         sys.phys.copy(seg.src, seg.dst, seg.bytes);
+    }
+    for t in &member_tokens {
+        let Some(segs) = dev(sys, id)
+            .inflight
+            .iter()
+            .find(|i| i.token == *t)
+            .map(|i| i.segments.clone())
+        else {
+            continue; // aborted mid-flight; its remap was rolled back
+        };
+        for seg in &segs {
+            sys.phys.copy(seg.src, seg.dst, seg.bytes);
+        }
     }
     let held_tc = dev_mut(sys, id).inflight[index].tc.take();
     if sys.dma.complete(transfer, outcome) {
@@ -82,6 +140,13 @@ pub(crate) fn on_dma_complete(
     let token = inflight.token;
     let req_id = inflight.req.id;
     let interrupt_mode = inflight.interrupt_mode;
+    for t in &member_tokens {
+        if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *t) {
+            i.completed = true;
+            i.batch_leader = None;
+            i.chain_offset = 0;
+        }
+    }
 
     if interrupt_mode {
         // Interrupt path: Release and Notify run in the handler — legal
@@ -103,6 +168,17 @@ pub(crate) fn on_dma_complete(
             Some(req_id),
         );
         sim.schedule_after(irq_cost, SimEvent::IrqRelease { device: id, token });
+        // Batch fan-out: one interrupt was taken for the whole chain;
+        // the handler releases every member, leader first (chain order).
+        for t in &member_tokens {
+            sim.schedule_after(
+                irq_cost,
+                SimEvent::IrqRelease {
+                    device: id,
+                    token: *t,
+                },
+            );
+        }
     } else {
         // Polling path: the kernel thread slept through the (short)
         // transfer and wakes right about now from its timed sleep — no
@@ -127,6 +203,17 @@ pub(crate) fn on_dma_complete(
         );
         dev_mut(sys, id).kthread_busy_until = ready_at;
         sim.schedule_at(ready_at, SimEvent::PollRelease { device: id, token });
+        // Batch fan-out: one timed wakeup serviced the whole chain; the
+        // worker releases every member in chain order.
+        for t in &member_tokens {
+            sim.schedule_at(
+                ready_at,
+                SimEvent::PollRelease {
+                    device: id,
+                    token: *t,
+                },
+            );
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use memif_lockfree::{Dequeued, FailReason, MovReq, MoveKind, MoveStatus};
 use memif_mm::{PageSize, Pte, VirtAddr};
 
 use crate::config::RaceMode;
-use crate::device::{DeviceId, Inflight, PagePlan};
+use crate::device::{DeviceId, Inflight, PagePlan, PlanScratch};
 use crate::driver::{complete, dev, dev_mut, fault};
 use crate::event::SimEvent;
 use crate::system::System;
@@ -27,6 +27,42 @@ struct Plan {
     page_size: PageSize,
     prep_cost: SimDuration,
     remap_cost: SimDuration,
+    /// Segments eliminated by coalescing (0 with coalescing off).
+    coalesced_away: u64,
+}
+
+/// Merges adjacent segments whose source **and** destination runs are
+/// both physically contiguous into one larger descriptor, in place.
+/// Returns the number of segments eliminated.
+fn coalesce_in_place(segs: &mut Vec<SgSegment>) -> u64 {
+    if segs.len() < 2 {
+        return 0;
+    }
+    let before = segs.len();
+    let mut w = 0usize;
+    for r in 1..segs.len() {
+        let seg = segs[r];
+        let prev = segs[w];
+        if prev.src.offset(prev.bytes) == seg.src && prev.dst.offset(prev.bytes) == seg.dst {
+            segs[w].bytes += seg.bytes;
+        } else {
+            w += 1;
+            segs[w] = seg;
+        }
+    }
+    segs.truncate(w + 1);
+    (before - segs.len()) as u64
+}
+
+/// Books the coalescing savings of a freshly built plan: eliminated
+/// segments and the descriptor field writes they would have cost.
+fn record_coalescing(sys: &mut System, id: DeviceId, plan: &Plan) {
+    if plan.coalesced_away > 0 {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.segments_coalesced += plan.coalesced_away;
+        stats.descriptor_writes_saved +=
+            plan.coalesced_away * u64::from(memif_hwsim::dma::PARAM_FIELDS);
+    }
 }
 
 /// Runs operations 1–3 for `deq` in context `ctx`. Returns the kernel
@@ -55,7 +91,10 @@ pub(crate) fn execute_attempt(
     let req = deq.req;
     let mut elapsed = SimDuration::ZERO;
 
-    let plan = match plan_request(sys, id, &req) {
+    let mut scratch = std::mem::take(&mut dev_mut(sys, id).scratch);
+    let planned = plan_request(sys, id, &req, &mut scratch);
+    dev_mut(sys, id).scratch = scratch;
+    let plan = match planned {
         Ok(p) => p,
         Err((status, cost)) => {
             elapsed += cost;
@@ -64,6 +103,7 @@ pub(crate) fn execute_attempt(
             return (elapsed, ExecOutcome::Rejected);
         }
     };
+    record_coalescing(sys, id, &plan);
 
     // Charge Prep and Remap.
     sys.meter.charge(ctx, plan.prep_cost + plan.remap_cost);
@@ -78,7 +118,7 @@ pub(crate) fn execute_attempt(
     // switch follows the device's configuration (ablation A1).
     sys.dma
         .set_reuse_enabled(dev(sys, id).config.descriptor_reuse);
-    let cfg = match sys.dma.configure(plan.segments.clone(), &sys.cost) {
+    let cfg = match sys.dma.configure_segments(plan.segments.clone(), &sys.cost) {
         Ok(cfg) => cfg,
         Err(memif_hwsim::dma::ChainError::AllBusy) => {
             // Every descriptor is tied up in other tenants' in-flight
@@ -159,6 +199,7 @@ pub(crate) fn execute_attempt(
     {
         let stats = &mut dev_mut(sys, id).stats;
         stats.phases.add(Phase::DmaConfig, cfg.config_cost);
+        stats.descriptors_written += cfg.descriptors as u64;
     }
 
     let bytes = cfg.bytes;
@@ -208,8 +249,200 @@ fn register_inflight(
         completed: false,
         attempt,
         watchdog: None,
+        batch_members: Vec::new(),
+        batch_leader: None,
+        chain_offset: 0,
     });
     token
+}
+
+/// Runs operations 1–3 for a drained batch of compatible requests as
+/// **one** chained scatter-gather launch. Each member is planned (and
+/// its remap installed) individually; the per-request segment lists are
+/// concatenated into a single descriptor chain programmed and launched
+/// once, completing with a single interrupt whose handler fans status
+/// back out per request. Per-member plan rejections notify that member
+/// alone; descriptor exhaustion disbands the batch into per-member
+/// retries so no request is ever dropped.
+pub(crate) fn execute_batch(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    batch: Vec<Dequeued>,
+    ctx: Context,
+) -> (SimDuration, ExecOutcome) {
+    let mut elapsed = SimDuration::ZERO;
+
+    // Plan every member. Rejections drop out of the batch here with
+    // their failure notification; survivors have their remaps installed.
+    let mut scratch = std::mem::take(&mut dev_mut(sys, id).scratch);
+    let mut planned: Vec<(Dequeued, Plan)> = Vec::with_capacity(batch.len());
+    for deq in batch {
+        match plan_request(sys, id, &deq.req, &mut scratch) {
+            Ok(p) => planned.push((deq, p)),
+            Err((status, cost)) => {
+                elapsed += cost;
+                sys.meter.charge(ctx, cost);
+                complete::notify(sys, sim, id, deq.slot, deq.req, status, None, ctx);
+            }
+        }
+    }
+    dev_mut(sys, id).scratch = scratch;
+    if planned.is_empty() {
+        return (elapsed, ExecOutcome::Rejected);
+    }
+
+    // Charge Prep and Remap for every member.
+    let mut prep = SimDuration::ZERO;
+    let mut remap = SimDuration::ZERO;
+    for (_, p) in &planned {
+        record_coalescing(sys, id, p);
+        prep += p.prep_cost;
+        remap += p.remap_cost;
+    }
+    sys.meter.charge(ctx, prep + remap);
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.phases.add(Phase::Prep, prep);
+        stats.phases.add(Phase::Remap, remap);
+    }
+    elapsed += prep + remap;
+
+    // Op 3, once: program the concatenated chain.
+    sys.dma
+        .set_reuse_enabled(dev(sys, id).config.descriptor_reuse);
+    let combined: Vec<SgSegment> = planned
+        .iter()
+        .flat_map(|(_, p)| p.segments.iter().copied())
+        .collect();
+    let cfg = match sys.dma.configure_segments(combined, &sys.cost) {
+        Ok(cfg) => cfg,
+        Err(memif_hwsim::dma::ChainError::AllBusy) => {
+            // Descriptor exhaustion: disband. Each member's remap rolls
+            // back and the member re-enters execution solo after the
+            // backoff, exactly as a solo AllBusy would — retry operates
+            // per request, never per batch.
+            let chaos = sys.chaos_enabled();
+            let base_backoff = dev(sys, id).config.retry_backoff;
+            let next_attempt = u32::from(chaos);
+            for (deq, plan) in planned {
+                undo_remap(sys, id, &plan);
+                if chaos {
+                    dev_mut(sys, id).stats.retries += 1;
+                }
+                sim.schedule_after(
+                    base_backoff,
+                    SimEvent::ExecRetry {
+                        device: id,
+                        slot: deq.slot,
+                        req: deq.req,
+                        color: deq.color,
+                        ctx,
+                        attempt: next_attempt,
+                    },
+                );
+            }
+            return (elapsed, ExecOutcome::Launched);
+        }
+        Err(_) => {
+            // Geometry errors (belt-and-braces: assembly bounds the
+            // total page count by the pool size).
+            for (deq, plan) in planned {
+                undo_remap(sys, id, &plan);
+                complete::notify(
+                    sys,
+                    sim,
+                    id,
+                    deq.slot,
+                    deq.req,
+                    MoveStatus::Invalid,
+                    None,
+                    ctx,
+                );
+            }
+            return (elapsed, ExecOutcome::Rejected);
+        }
+    };
+    sys.meter.charge(ctx, cfg.config_cost);
+    elapsed += cfg.config_cost;
+    {
+        let stats = &mut dev_mut(sys, id).stats;
+        stats.phases.add(Phase::DmaConfig, cfg.config_cost);
+        stats.descriptors_written += cfg.descriptors as u64;
+        if planned.len() >= 2 {
+            stats.requests_batched += planned.len() as u64;
+        }
+    }
+
+    let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);
+    // One completion for the whole chain: the leader's mode is decided
+    // by the combined size. Members remember their own-size mode for
+    // the day they are split off into solo retries.
+    let batch_interrupt = cfg.bytes >= threshold;
+    let n = planned.len();
+    let mut cfg_slot = Some(cfg);
+    let mut offset = 0u64;
+    let mut leader_token = 0u64;
+    let mut member_tokens = Vec::with_capacity(n.saturating_sub(1));
+    let mut total_pages = 0u32;
+    for (i, (deq, plan)) in planned.into_iter().enumerate() {
+        let own_bytes: u64 = plan.segments.iter().map(|s| s.bytes).sum();
+        let interrupt_mode = if i == 0 {
+            batch_interrupt
+        } else {
+            own_bytes >= threshold
+        };
+        total_pages += deq.req.nr_pages;
+        let token = register_inflight(
+            sys,
+            id,
+            deq.req,
+            &deq,
+            if i == 0 { cfg_slot.take() } else { None },
+            plan,
+            interrupt_mode,
+            0,
+        );
+        let entry = dev_mut(sys, id)
+            .inflight
+            .iter_mut()
+            .find(|f| f.token == token)
+            .expect("just registered");
+        entry.chain_offset = offset;
+        offset += own_bytes;
+        if i == 0 {
+            leader_token = token;
+        } else {
+            entry.batch_leader = Some(leader_token);
+            member_tokens.push(token);
+        }
+    }
+    dev_mut(sys, id)
+        .inflight
+        .iter_mut()
+        .find(|f| f.token == leader_token)
+        .expect("registered above")
+        .batch_members = member_tokens;
+
+    sys.trace_emit(
+        sim.now(),
+        elapsed,
+        ctx,
+        format!("ops 1-3: batched prep+remap+cfg ({n} reqs, {total_pages} pages)"),
+        dev(sys, id)
+            .inflight
+            .iter()
+            .find(|f| f.token == leader_token)
+            .map(|f| f.req.id),
+    );
+    sim.schedule_after(
+        elapsed,
+        SimEvent::Launch {
+            device: id,
+            token: leader_token,
+        },
+    );
+    (elapsed, ExecOutcome::Launched)
 }
 
 pub(crate) fn launch(
@@ -256,6 +489,15 @@ pub(crate) fn launch(
     inflight.tc = Some(tc);
     if inflight.dma_started_at.is_none() {
         inflight.dma_started_at = Some(now);
+    }
+    // Batch members ride this launch: stamp their DMA start too.
+    let member_tokens = inflight.batch_members.clone();
+    for m in &member_tokens {
+        if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *m) {
+            if i.dma_started_at.is_none() {
+                i.dma_started_at = Some(now);
+            }
+        }
     }
     let (src, dst) = (cfg.segments[0].src, cfg.segments[0].dst);
     let src_node = sys.node_of(src).expect("segment in a known bank");
@@ -361,6 +603,39 @@ pub(crate) fn handle_dma_failure(
     token: u64,
     reason: FailReason,
 ) {
+    // A batch leader entering the failure funnel drags its members with
+    // it — the combined chained transfer is gone for everyone. Disband
+    // first, then funnel each request individually, so retry, degrade
+    // and fallback all operate per request, never per batch. (A
+    // mid-chain error interrupt disbands in `complete` instead, where
+    // the fault-point byte count lets finished members complete.)
+    let members = match dev_mut(sys, id)
+        .inflight
+        .iter_mut()
+        .find(|i| i.token == token)
+    {
+        Some(i) => std::mem::take(&mut i.batch_members),
+        None => return,
+    };
+    for m in &members {
+        if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *m) {
+            i.batch_leader = None;
+        }
+    }
+    fail_one(sys, sim, id, token, reason);
+    for m in members {
+        fail_one(sys, sim, id, m, reason);
+    }
+}
+
+/// [`handle_dma_failure`] for a single (already unlinked) request.
+fn fail_one(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    token: u64,
+    reason: FailReason,
+) {
     let Some(inflight) = dev_mut(sys, id)
         .inflight
         .iter_mut()
@@ -436,13 +711,14 @@ pub(crate) fn retry_launch(
         .map(|i| i.req.id);
     sys.dma
         .set_reuse_enabled(dev(sys, id).config.descriptor_reuse);
-    match sys.dma.configure(segments, &sys.cost) {
+    match sys.dma.configure_segments(segments, &sys.cost) {
         Ok(cfg) => {
             let cost = cfg.config_cost;
             sys.meter.charge(Context::KernelThread, cost);
             {
                 let device = dev_mut(sys, id);
                 device.stats.phases.add(Phase::DmaConfig, cost);
+                device.stats.descriptors_written += cfg.descriptors as u64;
                 if let Some(i) = device.inflight.iter_mut().find(|i| i.token == token) {
                     i.cfg = Some(cfg);
                 }
@@ -585,11 +861,13 @@ fn plan_request(
     sys: &mut System,
     id: DeviceId,
     req: &MovReq,
+    scratch: &mut PlanScratch,
 ) -> Result<Plan, (MoveStatus, SimDuration)> {
     let device = dev(sys, id);
     let owner = device.owner;
     let gang = device.config.gang_lookup;
     let race_mode = device.config.race_mode;
+    let coalesce = device.config.coalesce;
     let validate_cost = sys.cost.queue_op;
 
     let Some(page_size) = PageSize::from_shift(req.page_shift) else {
@@ -613,9 +891,24 @@ fn plan_request(
     }
 
     match req.kind {
-        MoveKind::Replicate => plan_replication(sys, owner, req, page_size, gang),
-        MoveKind::Migrate => plan_migration(sys, owner, req, page_size, gang, race_mode),
+        MoveKind::Replicate => {
+            plan_replication(sys, owner, req, page_size, gang, coalesce, scratch)
+        }
+        MoveKind::Migrate => plan_migration(
+            sys, owner, req, page_size, gang, race_mode, coalesce, scratch,
+        ),
     }
+}
+
+/// Finalizes a plan's segment list from the scratch build area:
+/// coalesces in place when enabled, then copies out at exact size.
+fn finish_segments(coalesce: bool, scratch: &mut PlanScratch) -> (Vec<SgSegment>, u64) {
+    let coalesced_away = if coalesce {
+        coalesce_in_place(&mut scratch.segments)
+    } else {
+        0
+    };
+    (scratch.segments.clone(), coalesced_away)
 }
 
 fn lookup_cost(sys: &System, stats: memif_mm::WalkStats) -> SimDuration {
@@ -629,6 +922,8 @@ fn plan_replication(
     req: &MovReq,
     page_size: PageSize,
     gang: bool,
+    coalesce: bool,
+    scratch: &mut PlanScratch,
 ) -> Result<Plan, (MoveStatus, SimDuration)> {
     let src = VirtAddr::new(req.src_base);
     let dst = VirtAddr::new(req.dst_base);
@@ -648,16 +943,16 @@ fn plan_replication(
 
     // Op 1 for both regions: replication looks up source and destination
     // descriptors but manages no virtual memory (§3).
-    let (src_ptes, s1) = space.lookup_range(src, req.nr_pages, page_size, gang);
-    let (dst_ptes, s2) = space.lookup_range(dst, req.nr_pages, page_size, gang);
+    let s1 = space.lookup_range_into(src, req.nr_pages, page_size, gang, &mut scratch.ptes);
+    let s2 = space.lookup_range_into(dst, req.nr_pages, page_size, gang, &mut scratch.dst_ptes);
     let mut prep_cost = lookup_cost(sys, s1) + lookup_cost(sys, s2);
     prep_cost += sys.cost.gang_bookkeeping * u64::from(req.nr_pages);
 
-    let mut segments = Vec::with_capacity(req.nr_pages as usize);
-    for (s, d) in src_ptes.iter().zip(&dst_ptes) {
+    scratch.segments.clear();
+    for (s, d) in scratch.ptes.iter().zip(&scratch.dst_ptes) {
         match (s, d) {
             (Some(sp), Some(dp)) if sp.is_present() && dp.is_present() => {
-                segments.push(SgSegment {
+                scratch.segments.push(SgSegment {
                     src: sp.frame(),
                     dst: dp.frame(),
                     bytes: page_size.bytes(),
@@ -666,15 +961,18 @@ fn plan_replication(
             _ => return Err((MoveStatus::Invalid, prep_cost)),
         }
     }
+    let (segments, coalesced_away) = finish_segments(coalesce, scratch);
     Ok(Plan {
         segments,
         pages: Vec::new(),
         page_size,
         prep_cost,
         remap_cost: SimDuration::ZERO,
+        coalesced_away,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan_migration(
     sys: &mut System,
     owner: crate::system::SpaceId,
@@ -682,6 +980,8 @@ fn plan_migration(
     page_size: PageSize,
     gang: bool,
     race_mode: RaceMode,
+    coalesce: bool,
+    scratch: &mut PlanScratch,
 ) -> Result<Plan, (MoveStatus, SimDuration)> {
     let src = VirtAddr::new(req.src_base);
     let dst_node = memif_hwsim::NodeId(req.dst_node);
@@ -690,13 +990,13 @@ fn plan_migration(
     }
 
     // Op 1: gang page lookup.
-    let (ptes, walk) = sys
-        .space(owner)
-        .lookup_range(src, req.nr_pages, page_size, gang);
+    let walk =
+        sys.space(owner)
+            .lookup_range_into(src, req.nr_pages, page_size, gang, &mut scratch.ptes);
     let mut prep_cost = lookup_cost(sys, walk);
     prep_cost += sys.cost.gang_bookkeeping * u64::from(req.nr_pages);
     let mut originals = Vec::with_capacity(req.nr_pages as usize);
-    for (i, pte) in ptes.iter().enumerate() {
+    for (i, pte) in scratch.ptes.iter().enumerate() {
         match pte {
             Some(p) if p.is_present() => {
                 originals.push((src.offset(i as u64 * page_size.bytes()), *p));
@@ -783,20 +1083,20 @@ fn plan_migration(
         });
     }
 
-    let segments = pages
-        .iter()
-        .map(|p| SgSegment {
-            src: p.old_frame,
-            dst: p.new_frame,
-            bytes: page_size.bytes(),
-        })
-        .collect();
+    scratch.segments.clear();
+    scratch.segments.extend(pages.iter().map(|p| SgSegment {
+        src: p.old_frame,
+        dst: p.new_frame,
+        bytes: page_size.bytes(),
+    }));
+    let (segments, coalesced_away) = finish_segments(coalesce, scratch);
     Ok(Plan {
         segments,
         pages,
         page_size,
         prep_cost,
         remap_cost,
+        coalesced_away,
     })
 }
 

@@ -59,6 +59,70 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
         sim.cancel(watchdog);
     }
 
+    // Batch bookkeeping. A dying *leader* hands its combined chained
+    // transfer (and controller slot) to the first surviving member —
+    // aborting it would cancel every member's DMA for one request's
+    // fault. The heir's byte offsets stay valid (the chain geometry is
+    // unchanged); the old leader's segments still transfer but their
+    // bytes are simply never copied out (its destination frames are
+    // freed below). The leader's chaos watchdog was cancelled above and
+    // is not re-armed — its deadline belonged to the old token. A dying
+    // *member* just unlinks from its leader's roster.
+    if !inflight.batch_members.is_empty() {
+        let mut members = std::mem::take(&mut inflight.batch_members);
+        let heir_pos = members
+            .iter()
+            .position(|t| dev(sys, id).inflight.iter().any(|i| i.token == *t));
+        if let Some(pos) = heir_pos {
+            let heir_token = members.remove(pos);
+            let transfer = inflight.transfer.take();
+            let tc = inflight.tc.take();
+            let cfg = inflight.cfg.take();
+            let interrupt_mode = inflight.interrupt_mode;
+            for m in &members {
+                if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *m) {
+                    i.batch_leader = Some(heir_token);
+                }
+            }
+            let heir = dev_mut(sys, id)
+                .inflight
+                .iter_mut()
+                .find(|i| i.token == heir_token)
+                .expect("heir located above");
+            heir.batch_leader = None;
+            heir.batch_members = members;
+            heir.transfer = transfer;
+            heir.tc = tc;
+            heir.interrupt_mode = interrupt_mode;
+            let relaunch = cfg.is_some() && transfer.is_none();
+            if relaunch {
+                // The batch had not launched yet (the pending Launch —
+                // or the controller wait — carries the dead token and
+                // will no-op): the heir takes the programmed chain and
+                // a fresh Launch. `cancel_waiting` below clears any
+                // old-token controller-queue entry.
+                heir.cfg = cfg;
+                sim.schedule_after(
+                    memif_hwsim::SimDuration::ZERO,
+                    SimEvent::Launch {
+                        device: id,
+                        token: heir_token,
+                    },
+                );
+            }
+        }
+        // No surviving member: fall through and abort like a solo.
+    } else if let Some(leader) = inflight.batch_leader.take() {
+        let aborted_token = inflight.token;
+        if let Some(l) = dev_mut(sys, id)
+            .inflight
+            .iter_mut()
+            .find(|i| i.token == leader)
+        {
+            l.batch_members.retain(|t| *t != aborted_token);
+        }
+    }
+
     // Drop the outstanding DMA transfer (it may not have launched yet,
     // or may still be waiting for a transfer controller).
     let held_tc = inflight.tc.take();

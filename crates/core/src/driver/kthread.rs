@@ -10,11 +10,11 @@
 //! and permits the sleepable operations Remap needs.
 
 use memif_hwsim::{Context, Sim};
-use memif_lockfree::{Color, QueueId};
+use memif_lockfree::{Color, Dequeued, MovReq, QueueId};
 
 use crate::device::DeviceId;
-use crate::driver::exec::execute_request;
-use crate::driver::{dev, dev_mut};
+use crate::driver::exec::{execute_batch, execute_request};
+use crate::driver::{dev, dev_mut, region_fault};
 use crate::event::SimEvent;
 use crate::system::System;
 
@@ -30,10 +30,12 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
         return; // device closed while the wakeup was in flight
     }
     let depth = dev(sys, id).config.pipeline_depth.max(1);
+    // A chained batch occupies one pipeline slot (one engine launch):
+    // members ride their leader's transfer and do not count.
     if dev(sys, id)
         .inflight
         .iter()
-        .filter(|i| !i.completed)
+        .filter(|i| !i.completed && i.batch_leader.is_none())
         .count()
         >= depth
     {
@@ -48,19 +50,72 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     dev_mut(sys, id).stats.kthread_wakeups += 1;
 
     loop {
+        // Deferred requests first: one may have been waiting on a
+        // conflict that has since retired. They were dequeued (and their
+        // queue operation charged) in an earlier round, so re-examining
+        // them costs nothing. FIFO scan keeps same-region order.
+        let parked = {
+            let device = dev(sys, id);
+            device
+                .deferred
+                .iter()
+                .position(|d| !conflicts_inflight(device, &d.req))
+        };
+        if let Some(pos) = parked {
+            let deq = dev_mut(sys, id).deferred.remove(pos);
+            let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::KernelThread);
+            dev_mut(sys, id).kthread_busy_until = sim.now() + elapsed;
+            sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id });
+            return;
+        }
+
         let queue_cost = sys.cost.queue_op;
         sys.meter.charge(Context::KernelThread, queue_cost);
 
         let device = dev(sys, id);
-        let next = device
-            .region
-            .dequeue(QueueId::Submission)
-            .expect("infallible")
-            .or_else(|| device.region.dequeue(QueueId::Staging).expect("infallible"));
+        let next = match device.region.dequeue(QueueId::Submission) {
+            Ok(Some(deq)) => Some(deq),
+            Ok(None) => match device.region.dequeue(QueueId::Staging) {
+                Ok(next) => next,
+                Err(e) => {
+                    region_fault(sys, sim, id, Context::KernelThread, &e);
+                    return;
+                }
+            },
+            Err(e) => {
+                region_fault(sys, sim, id, Context::KernelThread, &e);
+                return;
+            }
+        };
 
         match next {
             Some(deq) => {
-                let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::KernelThread);
+                // Issue-time hazard guard: a request whose pages overlap
+                // a still-in-flight request must wait for it to retire.
+                // Planning it now would re-read (and overwrite) the
+                // in-flight remap's semi-final PTEs — with out-of-order
+                // completions (a lost interrupt riding out its watchdog
+                // while younger requests finish) the application can
+                // legally have both queued. FIFO within a region is
+                // preserved: a later same-region request conflicts with
+                // the same in-flight entry and parks behind this one.
+                if conflicts_inflight(dev(sys, id), &deq.req) {
+                    dev_mut(sys, id).stats.requests_deferred += 1;
+                    dev_mut(sys, id).deferred.push(deq);
+                    continue;
+                }
+                let batch_max = dev(sys, id).config.batch_max.max(1);
+                let (elapsed, _outcome) = if batch_max > 1 {
+                    let mut batch = assemble_batch(sys, id, deq, batch_max);
+                    if batch.len() == 1 {
+                        let deq = batch.pop().expect("one element");
+                        execute_request(sys, sim, id, deq, Context::KernelThread)
+                    } else {
+                        execute_batch(sys, sim, id, batch, Context::KernelThread)
+                    }
+                } else {
+                    execute_request(sys, sim, id, deq, Context::KernelThread)
+                };
                 // Whether launched or rejected, the worker's CPU is busy
                 // for `elapsed`; it looks for more work afterwards (and
                 // issues it if the pipeline still has room).
@@ -90,6 +145,88 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     }
 }
 
+/// Drains up to `batch_max` compatible requests behind `first` into one
+/// issue batch: same kind and page size (one chain, one geometry), the
+/// combined page count bounded by the descriptor pool, and no address
+/// overlap with an earlier batch member (FIFO is the queues' only
+/// ordering guarantee — an overlapping request must stay behind the
+/// batch). Incompatible requests are left in place, in order. Each
+/// extra probe pays a queue operation like the solo path's; a region
+/// fault merely stops assembly — the already-drained requests must
+/// still be served.
+fn assemble_batch(
+    sys: &mut System,
+    id: DeviceId,
+    first: Dequeued,
+    batch_max: usize,
+) -> Vec<Dequeued> {
+    let max_pages = sys.dma.max_segments();
+    let kind = first.req.kind;
+    let shift = first.req.page_shift;
+    let mut total_pages = first.req.nr_pages as usize;
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    push_spans(&mut spans, &first.req);
+    let mut batch = vec![first];
+    while batch.len() < batch_max && total_pages < max_pages {
+        let queue_cost = sys.cost.queue_op;
+        sys.meter.charge(Context::KernelThread, queue_cost);
+        let device = dev(sys, id);
+        let fits = |m: &MovReq| {
+            m.kind == kind
+                && m.page_shift == shift
+                && total_pages + m.nr_pages as usize <= max_pages
+                && !overlaps_any(&spans, m)
+                && !conflicts_inflight(device, m)
+        };
+        let next = match device.region.dequeue_matching(QueueId::Submission, fits) {
+            Ok(Some(d)) => Some(d),
+            Ok(None) => device
+                .region
+                .dequeue_matching(QueueId::Staging, fits)
+                .unwrap_or_default(),
+            Err(_) => None,
+        };
+        let Some(d) = next else { break };
+        total_pages += d.req.nr_pages as usize;
+        push_spans(&mut spans, &d.req);
+        batch.push(d);
+    }
+    batch
+}
+
+/// Records the virtual address ranges `req` reads or writes.
+fn push_spans(spans: &mut Vec<(u64, u64)>, req: &MovReq) {
+    let len = u64::from(req.nr_pages) << req.page_shift;
+    spans.push((req.src_base, len));
+    if req.kind == memif_lockfree::MoveKind::Replicate {
+        spans.push((req.dst_base, len));
+    }
+}
+
+/// True if `req`'s address ranges overlap any request the device still
+/// holds in flight (including completed-but-unreleased entries, whose
+/// semi-final PTEs are still installed). Such a request cannot be
+/// planned yet: its page walk would observe — and its remap overwrite —
+/// the in-flight entry's transient mappings.
+fn conflicts_inflight(device: &crate::device::MemifDevice, req: &MovReq) -> bool {
+    let mut spans: Vec<(u64, u64)> = Vec::new();
+    for i in &device.inflight {
+        push_spans(&mut spans, &i.req);
+    }
+    !spans.is_empty() && overlaps_any(&spans, req)
+}
+
+/// True if any of `req`'s address ranges intersects a recorded span.
+fn overlaps_any(spans: &[(u64, u64)], req: &MovReq) -> bool {
+    let mut own: Vec<(u64, u64)> = Vec::with_capacity(2);
+    push_spans(&mut own, req);
+    own.iter().any(|(base, len)| {
+        spans
+            .iter()
+            .any(|(sbase, slen)| *base < sbase + slen && *sbase < base + len)
+    })
+}
+
 pub(crate) fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     // Continuation entry that does not re-count a wakeup.
     if sys.device(id).is_none() {
@@ -99,7 +236,7 @@ pub(crate) fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId
     let active = dev(sys, id)
         .inflight
         .iter()
-        .filter(|i| !i.completed)
+        .filter(|i| !i.completed && i.batch_leader.is_none())
         .count();
     if active >= depth || sim.now() < dev(sys, id).kthread_busy_until {
         return;

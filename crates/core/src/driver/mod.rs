@@ -53,3 +53,24 @@ pub(crate) fn dev(sys: &System, id: DeviceId) -> &MemifDevice {
 pub(crate) fn dev_mut(sys: &mut System, id: DeviceId) -> &mut MemifDevice {
     sys.devices[id.0].as_mut().expect("device open")
 }
+
+/// A shared-region queue operation failed — the application-mapped
+/// region no longer validates (a real driver would treat this as memory
+/// corruption by a buggy or hostile mapper). The driver stops trusting
+/// the queues: the fault is traced and the issue path parks instead of
+/// panicking the kernel. In-flight transfers complete normally.
+pub(crate) fn region_fault(
+    sys: &mut System,
+    sim: &memif_hwsim::Sim<System>,
+    id: DeviceId,
+    ctx: memif_hwsim::Context,
+    err: &memif_lockfree::RegionError,
+) {
+    sys.trace_emit(
+        sim.now(),
+        memif_hwsim::SimDuration::ZERO,
+        ctx,
+        format!("shared region fault: {err}; device {} parks", id.0),
+        None,
+    );
+}

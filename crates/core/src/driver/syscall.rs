@@ -35,10 +35,15 @@ pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> 
 
     let queue_cost = sys.cost.queue_op;
     sys.meter.charge(Context::Syscall, queue_cost);
-    let next = dev(sys, id)
-        .region
-        .dequeue(QueueId::Submission)
-        .expect("infallible");
+    let next = match dev(sys, id).region.dequeue(QueueId::Submission) {
+        Ok(next) => next,
+        Err(e) => {
+            // The mapped region failed validation mid-ioctl: fail the
+            // call cleanly instead of panicking the kernel.
+            crate::driver::region_fault(sys, sim, id, Context::Syscall, &e);
+            return crossing + queue_cost;
+        }
+    };
 
     match next {
         Some(deq) => {

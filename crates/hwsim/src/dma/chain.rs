@@ -51,6 +51,11 @@ impl ChainPlan {
 struct ChainRecord {
     descs: Vec<u16>,
     bytes_per_desc: u64,
+    /// Per-descriptor byte sizes for mixed-size (coalesced) chains;
+    /// `None` for the uniform chains of the classic one-page-per-
+    /// descriptor path. Mixed chains carry `bytes_per_desc = 0` so a
+    /// uniform plan can never match them.
+    sizes: Option<Vec<u64>>,
     last_use: u64,
     busy: bool,
 }
@@ -161,7 +166,7 @@ impl ChainManager {
 
         if !self.reuse_enabled {
             let fresh = self.take_free(n)?;
-            let id = self.record(fresh.clone(), bytes_per_desc);
+            let id = self.record(fresh.clone(), bytes_per_desc, None);
             return Ok(ChainPlan {
                 chain: id,
                 reused: Vec::new(),
@@ -175,7 +180,7 @@ impl ChainManager {
         let candidate = self
             .chains
             .iter()
-            .filter(|(_, c)| !c.busy && c.bytes_per_desc == bytes_per_desc)
+            .filter(|(_, c)| !c.busy && c.sizes.is_none() && c.bytes_per_desc == bytes_per_desc)
             .max_by_key(|(_, c)| {
                 let len = c.descs.len();
                 if len >= n {
@@ -225,7 +230,7 @@ impl ChainManager {
             }
             None => {
                 let fresh = self.take_free(n)?;
-                let id = self.record(fresh.clone(), bytes_per_desc);
+                let id = self.record(fresh.clone(), bytes_per_desc, None);
                 Ok(ChainPlan {
                     chain: id,
                     reused: Vec::new(),
@@ -233,6 +238,63 @@ impl ChainManager {
                 })
             }
         }
+    }
+
+    /// Plans a transfer over explicitly sized segments — the coalesced
+    /// issue path, where merged descriptors may differ in size. A
+    /// uniform size list delegates to [`ChainManager::plan`] and behaves
+    /// byte-for-byte identically; a mixed list is carried by a
+    /// geometry-keyed chain that is reused only on an exact size-vector
+    /// match (every descriptor's count fields are already right, so the
+    /// whole chain goes out with src/dst rewrites alone).
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainError::Empty`] on an empty size list.
+    /// * [`ChainError::TooLarge`] / [`ChainError::AllBusy`] as for
+    ///   [`ChainManager::plan`].
+    pub fn plan_segments(&mut self, sizes: &[u64]) -> Result<ChainPlan, ChainError> {
+        let Some(&first) = sizes.first() else {
+            return Err(ChainError::Empty);
+        };
+        if sizes.iter().all(|&s| s == first) {
+            return self.plan(sizes.len(), first);
+        }
+        let n = sizes.len();
+        if n > self.pool_size {
+            return Err(ChainError::TooLarge {
+                requested: n,
+                pool: self.pool_size,
+            });
+        }
+        self.clock += 1;
+        if self.reuse_enabled {
+            // Lowest chain id wins among exact matches: unique ids keep
+            // the choice deterministic across runs (HashMap order isn't).
+            let candidate = self
+                .chains
+                .iter()
+                .filter(|(_, c)| !c.busy && c.sizes.as_deref() == Some(sizes))
+                .min_by_key(|(id, _)| **id)
+                .map(|(id, _)| *id);
+            if let Some(id) = candidate {
+                let c = self.chains.get_mut(&id).expect("candidate exists");
+                c.busy = true;
+                c.last_use = self.clock;
+                return Ok(ChainPlan {
+                    chain: ChainId(id),
+                    reused: c.descs.clone(),
+                    fresh: Vec::new(),
+                });
+            }
+        }
+        let fresh = self.take_free(n)?;
+        let id = self.record(fresh.clone(), 0, Some(sizes.to_vec()));
+        Ok(ChainPlan {
+            chain: id,
+            reused: Vec::new(),
+            fresh,
+        })
     }
 
     /// Marks a chain idle again after its transfer completes or aborts.
@@ -270,7 +332,7 @@ impl ChainManager {
             .sum()
     }
 
-    fn record(&mut self, descs: Vec<u16>, bytes_per_desc: u64) -> ChainId {
+    fn record(&mut self, descs: Vec<u16>, bytes_per_desc: u64, sizes: Option<Vec<u64>>) -> ChainId {
         let id = self.next_chain;
         self.next_chain += 1;
         self.chains.insert(
@@ -278,6 +340,7 @@ impl ChainManager {
             ChainRecord {
                 descs,
                 bytes_per_desc,
+                sizes,
                 last_use: self.clock,
                 busy: true,
             },
@@ -401,6 +464,59 @@ mod tests {
         let mut m = ChainManager::new(4);
         assert_eq!(
             m.plan(5, 4096),
+            Err(ChainError::TooLarge {
+                requested: 5,
+                pool: 4
+            })
+        );
+    }
+
+    #[test]
+    fn uniform_segments_delegate_to_plan() {
+        let mut m = ChainManager::new(16);
+        let p1 = m.plan(4, 4096).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan_segments(&[4096; 4]).unwrap();
+        assert_eq!(p2.reused.len(), 4, "uniform list reuses the uniform chain");
+        assert_eq!(p2.fresh.len(), 0);
+    }
+
+    #[test]
+    fn mixed_chain_reuses_on_exact_match_only() {
+        let mut m = ChainManager::new(32);
+        let sizes = [8192u64, 4096, 16384];
+        let p1 = m.plan_segments(&sizes).unwrap();
+        assert_eq!(p1.fresh.len(), 3);
+        m.release(p1.chain);
+        // Exact geometry match: whole chain reused.
+        let p2 = m.plan_segments(&sizes).unwrap();
+        assert_eq!(p2.reused.len(), 3);
+        assert_eq!(p2.fresh.len(), 0);
+        assert_eq!(p2.reused, p1.fresh);
+        m.release(p2.chain);
+        // Different geometry: all fresh, even with the old chain idle.
+        let p3 = m.plan_segments(&[4096, 8192, 16384]).unwrap();
+        assert_eq!(p3.reused.len(), 0);
+        assert_eq!(p3.fresh.len(), 3);
+    }
+
+    #[test]
+    fn mixed_chain_never_serves_uniform_plans() {
+        let mut m = ChainManager::new(32);
+        let p1 = m.plan_segments(&[4096, 8192]).unwrap();
+        m.release(p1.chain);
+        let p2 = m.plan(2, 4096).unwrap();
+        assert_eq!(p2.reused.len(), 0, "mixed geometry is useless for pages");
+        let p3 = m.plan_segments(&[4096; 2]).unwrap();
+        assert_eq!(p3.reused.len(), 0, "uniform request skips mixed records");
+    }
+
+    #[test]
+    fn empty_segment_list_is_an_error() {
+        let mut m = ChainManager::new(4);
+        assert_eq!(m.plan_segments(&[]), Err(ChainError::Empty));
+        assert_eq!(
+            m.plan_segments(&[4096, 8192, 4096, 4096, 8192]),
             Err(ChainError::TooLarge {
                 requested: 5,
                 pool: 4

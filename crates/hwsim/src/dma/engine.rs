@@ -62,6 +62,26 @@ pub struct ConfiguredTransfer {
     pub segments: Vec<SgSegment>,
 }
 
+impl ConfiguredTransfer {
+    /// How many leading segments an errored transfer fully moved before
+    /// the engine stopped: descriptors are walked in chain order, so a
+    /// mid-chain error at `bytes_done` leaves exactly the segments whose
+    /// cumulative byte count fits inside `bytes_done` at their
+    /// destinations. Batched issue uses this to attribute a failure to
+    /// individual requests instead of the whole chain.
+    #[must_use]
+    pub fn segments_done(&self, bytes_done: u64) -> usize {
+        let mut moved = 0u64;
+        for (i, seg) in self.segments.iter().enumerate() {
+            moved += seg.bytes;
+            if moved > bytes_done {
+                return i;
+            }
+        }
+        self.segments.len()
+    }
+}
+
 /// Counters of engine activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DmaStats {
@@ -290,6 +310,47 @@ impl DmaEngine {
             head,
             descriptors: segments.len(),
             bytes,
+            config_cost,
+            engine_overhead: cost.dma_trigger + cost.dma_per_desc_engine * segments.len() as u64,
+            segments,
+        })
+    }
+
+    /// Programs a scatter-gather transfer whose segments may differ in
+    /// size — the coalesced issue path, where physically contiguous pages
+    /// have been merged into larger descriptors. A uniform segment list
+    /// behaves byte-for-byte like [`DmaEngine::configure`]; a mixed list
+    /// is carried by a geometry-keyed chain (see
+    /// [`ChainManager::plan_segments`]). Descriptor-write cost is charged
+    /// per *merged* descriptor: a 256-page contiguous transfer coalesced
+    /// into one segment pays for one descriptor, not 256.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DmaEngine::configure`], minus `MixedSizes` (mixed sizes
+    /// are the point).
+    pub fn configure_segments(
+        &mut self,
+        segments: Vec<SgSegment>,
+        cost: &CostModel,
+    ) -> Result<ConfiguredTransfer, ChainError> {
+        if segments.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        if let Some(inj) = &mut self.injector {
+            if inj.roll_configure() {
+                return Err(ChainError::AllBusy);
+            }
+        }
+        let sizes: Vec<u64> = segments.iter().map(|s| s.bytes).collect();
+        let plan = self.chains.plan_segments(&sizes)?;
+        let config_cost = self.apply(&plan, &segments, cost);
+        let head = plan.descriptors().next().ok_or(ChainError::Empty)?;
+        Ok(ConfiguredTransfer {
+            chain: plan.chain,
+            head,
+            descriptors: segments.len(),
+            bytes: sizes.iter().sum(),
             config_cost,
             engine_overhead: cost.dma_trigger + cost.dma_per_desc_engine * segments.len() as u64,
             segments,
@@ -812,6 +873,71 @@ mod tests {
             "pool is empty-handed despite 64 free descriptors"
         );
         assert!(e.fault_stats().unwrap().desc_exhaustions >= 1);
+    }
+
+    #[test]
+    fn coalesced_configure_charges_per_merged_descriptor() {
+        let cm = CostModel::keystone_ii();
+        let mut e = DmaEngine::with_pool(32);
+        // Three merged descriptors standing in for 7 pages.
+        let segs = vec![
+            SgSegment {
+                src: PhysAddr::new(0x1_0000),
+                dst: PhysAddr::new(0x8_0000),
+                bytes: 4 * 4096,
+            },
+            SgSegment {
+                src: PhysAddr::new(0x2_0000),
+                dst: PhysAddr::new(0x9_0000),
+                bytes: 4096,
+            },
+            SgSegment {
+                src: PhysAddr::new(0x3_0000),
+                dst: PhysAddr::new(0xA_0000),
+                bytes: 2 * 4096,
+            },
+        ];
+        let t = e.configure_segments(segs.clone(), &cm).unwrap();
+        assert_eq!(t.descriptors, 3, "one descriptor per merged segment");
+        assert_eq!(t.bytes, 7 * 4096);
+        assert_eq!(t.config_cost, cm.desc_config_full() * 3);
+        assert_eq!(
+            t.engine_overhead,
+            cm.dma_trigger + cm.dma_per_desc_engine * 3
+        );
+        e.finish_for_test(t.chain);
+        // Exact-geometry reuse rewrites src/dst only.
+        let t2 = e.configure_segments(segs, &cm).unwrap();
+        assert_eq!(t2.config_cost, cm.desc_config_reuse() * 3);
+    }
+
+    #[test]
+    fn uniform_configure_segments_matches_configure() {
+        let cm = CostModel::keystone_ii();
+        let mut a = DmaEngine::with_pool(32);
+        let mut b = DmaEngine::with_pool(32);
+        let ta = a.configure((0..4).map(seg).collect(), &cm).unwrap();
+        let tb = b
+            .configure_segments((0..4).map(seg).collect(), &cm)
+            .unwrap();
+        assert_eq!(ta, tb, "uniform lists take the identical path");
+        assert_eq!(
+            b.configure_segments(Vec::new(), &cm),
+            Err(ChainError::Empty)
+        );
+    }
+
+    #[test]
+    fn segments_done_attributes_partial_errors() {
+        let cm = CostModel::keystone_ii();
+        let mut e = DmaEngine::with_pool(32);
+        let t = e.configure((0..4).map(seg).collect(), &cm).unwrap();
+        assert_eq!(t.segments_done(0), 0);
+        assert_eq!(t.segments_done(4095), 0, "partial segment doesn't count");
+        assert_eq!(t.segments_done(4096), 1);
+        assert_eq!(t.segments_done(3 * 4096 + 1), 3);
+        assert_eq!(t.segments_done(4 * 4096), 4);
+        assert_eq!(t.segments_done(u64::MAX), 4);
     }
 
     impl DmaEngine {

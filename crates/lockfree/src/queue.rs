@@ -160,6 +160,23 @@ impl ColorQueue {
     ///
     /// See [`Dequeued`] for the slot-ownership hand-off.
     pub fn dequeue(&self, slots: &[Slot]) -> Option<Dequeued> {
+        self.dequeue_if(slots, |_| true)
+    }
+
+    /// Removes the oldest element only if `pred` accepts its payload;
+    /// returns `None` — leaving the queue untouched — when the queue is
+    /// empty or the front element does not match.
+    ///
+    /// The predicate runs on the speculative payload copy taken *before*
+    /// the head CAS (the same copy an unconditional dequeue would
+    /// commit), so a mismatched front element is never disturbed. This
+    /// is how batched issue peels only compatible requests off the
+    /// submission queue without a peek/remove race.
+    pub fn dequeue_if(
+        &self,
+        slots: &[Slot],
+        mut pred: impl FnMut(&MovReq) -> bool,
+    ) -> Option<Dequeued> {
         loop {
             let h = self.head.load();
             let hslot = &slots[h.index as usize];
@@ -191,6 +208,15 @@ impl ColorQueue {
             // successful CAS proves the head (and hence the payload slot)
             // was undisturbed for the whole read.
             let req = slots[hlink.index as usize].read_payload();
+            if !pred(&req) {
+                // The speculative copy is only trustworthy if the head
+                // held still while we read it; re-confirm before
+                // reporting a mismatched front.
+                if self.head.load() == h {
+                    return None;
+                }
+                continue;
+            }
             if self
                 .head
                 .compare_exchange(
@@ -379,6 +405,25 @@ mod tests {
         assert_eq!(q.len_approx(&slots), 0);
         q.enqueue(&slots, 1, &req(1));
         assert!(!q.is_empty(&slots));
+    }
+
+    #[test]
+    fn dequeue_if_leaves_mismatched_front_in_place() {
+        let slots = arena(8);
+        let q = ColorQueue::new(&slots, 0, Color::Blue);
+        q.enqueue(&slots, 1, &req(10));
+        q.enqueue(&slots, 2, &req(20));
+        // Front is 10: a predicate wanting 20 must not disturb the queue.
+        assert!(q.dequeue_if(&slots, |r| r.id == 20).is_none());
+        assert_eq!(q.len_approx(&slots), 2);
+        // A matching predicate dequeues normally, FIFO order intact.
+        let d = q.dequeue_if(&slots, |r| r.id == 10).unwrap();
+        assert_eq!(d.req.id, 10);
+        assert_eq!(q.dequeue(&slots).unwrap().req.id, 20);
+        // Empty queue: predicate is never called.
+        assert!(q
+            .dequeue_if(&slots, |_| panic!("must not run on empty"))
+            .is_none());
     }
 
     #[test]

@@ -211,6 +211,23 @@ impl Region {
         Ok(self.queue(id).dequeue(&self.slots))
     }
 
+    /// Dequeues from queue `id` only if the front request satisfies
+    /// `pred`; `Ok(None)` means empty *or* mismatched front (which is
+    /// left in place). The batched issue path uses this to drain only
+    /// requests compatible with the batch being assembled.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` reserves room for kernel-side
+    /// validation failures.
+    pub fn dequeue_matching(
+        &self,
+        id: QueueId,
+        pred: impl FnMut(&MovReq) -> bool,
+    ) -> Result<Option<Dequeued>, RegionError> {
+        Ok(self.queue(id).dequeue_if(&self.slots, pred))
+    }
+
     /// Attempts to recolor queue `id` (only succeeds when empty; §4.3).
     ///
     /// # Errors
@@ -316,6 +333,26 @@ mod tests {
         assert!(r.dequeue(QueueId::CompletionOk).unwrap().is_none());
         assert_eq!(r.dequeue(QueueId::Submission).unwrap().unwrap().req.id, 2);
         assert_eq!(r.dequeue(QueueId::Staging).unwrap().unwrap().req.id, 1);
+    }
+
+    #[test]
+    fn dequeue_matching_respects_fifo_front() {
+        let r = Region::new(4).unwrap();
+        let a = r.alloc_slot().unwrap();
+        let b = r.alloc_slot().unwrap();
+        r.enqueue(QueueId::Submission, a, &req(1)).unwrap();
+        r.enqueue(QueueId::Submission, b, &req(2)).unwrap();
+        // Front (id 1) mismatches: nothing moves.
+        assert!(r
+            .dequeue_matching(QueueId::Submission, |m| m.id == 2)
+            .unwrap()
+            .is_none());
+        assert_eq!(r.stats().submission, 2);
+        let d = r
+            .dequeue_matching(QueueId::Submission, |m| m.id == 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.req.id, 1);
     }
 
     #[test]

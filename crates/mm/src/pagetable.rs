@@ -217,8 +217,25 @@ impl PageTable {
         size: PageSize,
         gang: bool,
     ) -> (Vec<Option<Pte>>, WalkStats) {
-        let mut stats = WalkStats::default();
         let mut out = Vec::with_capacity(count as usize);
+        let stats = self.lookup_range_into(start, count, size, gang, &mut out);
+        (out, stats)
+    }
+
+    /// [`lookup_range`](Self::lookup_range) writing into a caller-owned
+    /// buffer (cleared first), so hot paths can reuse one allocation
+    /// across requests instead of allocating a result vector per call.
+    pub fn lookup_range_into(
+        &self,
+        start: VirtAddr,
+        count: u32,
+        size: PageSize,
+        gang: bool,
+        out: &mut Vec<Option<Pte>>,
+    ) -> WalkStats {
+        out.clear();
+        out.reserve(count as usize);
+        let mut stats = WalkStats::default();
         let mut prev_node: Option<[usize; 2]> = None;
         for i in 0..count {
             let vaddr = start.offset(u64::from(i) * size.bytes());
@@ -231,7 +248,7 @@ impl PageTable {
             prev_node = Some(node);
             out.push(self.peek(vaddr, size));
         }
-        (out, stats)
+        stats
     }
 
     /// Replaces the entry at `vaddr`, returning the old one.

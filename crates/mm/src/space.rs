@@ -588,6 +588,19 @@ impl AddressSpace {
     ) -> (Vec<Option<Pte>>, WalkStats) {
         self.table.lookup_range(start, count, size, gang)
     }
+
+    /// Buffer-reusing variant of [`lookup_range`](Self::lookup_range)
+    /// (see [`PageTable::lookup_range_into`]).
+    pub fn lookup_range_into(
+        &self,
+        start: VirtAddr,
+        count: u32,
+        size: PageSize,
+        gang: bool,
+        out: &mut Vec<Option<Pte>>,
+    ) -> WalkStats {
+        self.table.lookup_range_into(start, count, size, gang, out)
+    }
 }
 
 #[cfg(test)]
