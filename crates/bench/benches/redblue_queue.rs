@@ -125,7 +125,66 @@ fn bench_contended(c: &mut Criterion) {
             elapsed
         });
     });
+    // Four producers hammering ONE staging queue against the measuring
+    // thread acting as the single dequeuer — the seed's issue-path shape
+    // at its most contended. Compare with `mpsc_4p_sharded`, where the
+    // same producer population is spread over four shards: per-queue CAS
+    // contention drops and dequeue throughput rises, the effect the
+    // sharded issue path exploits.
+    g.bench_function("mpsc_4p_single_queue", |b| {
+        b.iter_custom(|iters| mpsc_throughput(1, iters));
+    });
+    g.bench_function("mpsc_4p_sharded", |b| {
+        b.iter_custom(|iters| mpsc_throughput(4, iters));
+    });
     g.finish();
+}
+
+/// Times `iters` dequeues by one consumer while 4 producers enqueue into
+/// `shards` staging shards (producer `p` pinned to shard `p % shards`).
+fn mpsc_throughput(shards: usize, iters: u64) -> std::time::Duration {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let region = Arc::new(Region::new_sharded(128, shards).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let producers: Vec<_> = (0..4usize)
+        .map(|p| {
+            let region = Arc::clone(&region);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let shard = p % shards;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(s) = region.alloc_slot() {
+                        region
+                            .enqueue_sharded(QueueId::Staging, shard, s, &req(i))
+                            .unwrap();
+                        i += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let mut drained = 0u64;
+    let mut shard = 0usize;
+    while drained < iters {
+        if let Some(d) = region.dequeue_sharded(QueueId::Staging, shard).unwrap() {
+            region.free_slot(d.slot).unwrap();
+            drained += 1;
+        }
+        shard = (shard + 1) % shards;
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for t in producers {
+        t.join().unwrap();
+    }
+    elapsed
 }
 
 criterion_group!(benches, bench_queue_ops, bench_contended);

@@ -213,6 +213,10 @@ pub struct StreamResult {
     /// `segments_coalesced`, `descriptors_written`,
     /// `descriptor_writes_saved`, and the phase breakdown from here).
     pub stats: memif::DriverStats,
+    /// Kernel-worker busy time per issue shard (index = shard). Empty
+    /// when the run recorded no worker-attributed time (e.g. the Linux
+    /// baseline).
+    pub worker_busy: Vec<SimDuration>,
 }
 
 /// Streams `count` identical memif requests, keeping up to `window`
@@ -496,6 +500,7 @@ fn run_stream(
         dma_errors: dev.stats.dma_errors,
         failed: st.failed,
         stats: dev.stats.clone(),
+        worker_busy: sys.meter.workers().to_vec(),
     };
     drop(st);
     LoggedStream {
@@ -589,5 +594,6 @@ pub fn stream_linux(
         dma_errors: 0,
         failed: 0,
         stats: memif::DriverStats::default(),
+        worker_busy: Vec::new(),
     }
 }

@@ -8,7 +8,7 @@
 //!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
 //!                   [--delay-rate R] [--desc-exhaust-rate R] [--max-retries N]
 //!                   [--no-fallback true] [--tc-count N] [--trace-events PATH]
-//!                   [--batch-max N] [--no-coalesce true]
+//!                   [--batch-max N] [--no-coalesce true] [--issue-shards S]
 //! memifctl stats    [same flags as move]
 //! memifctl replay   --from PATH
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
@@ -82,6 +82,14 @@ with a single completion interrupt (default 1 = classic per-request
 issue). Batched runs also coalesce physically contiguous segments into
 one descriptor; --no-coalesce true keeps one descriptor per page.
 `memifctl stats --batch-max 16` shows the issue-side savings.
+
+sharded issue path (move/stats): --issue-shards S (default 1) splits
+the staging/submission queue pair and the kernel worker into S shards,
+each worker modelling its own CPU. Submissions are routed by the
+covering VMA's base address, so same-region requests keep their FIFO
+order on one shard while disjoint tenants issue in parallel; a
+device-wide in-flight index still serializes the rare cross-shard
+overlap (`cross_shard_deferred` in `memifctl stats`).
 
 event traces (move): --trace-events <path> records the run's typed
 event log as JSON lines (one `#!` header, one `#=` terminal-status line
@@ -202,6 +210,12 @@ fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
     // contiguous segments unless --no-coalesce true; the default
     // (batch-max 1) keeps the classic one-descriptor-per-page path.
     let no_coalesce = args.get_or("no-coalesce", false)?;
+    let issue_shards = args.get_or("issue-shards", 1usize)?;
+    if issue_shards == 0 || issue_shards > 64 {
+        return Err(format!(
+            "--issue-shards: {issue_shards} out of range (1..=64)"
+        ));
+    }
     let config = MemifConfig {
         descriptor_reuse: !args.get_or("no-reuse", false)?,
         gang_lookup: !args.get_or("no-gang", false)?,
@@ -210,6 +224,7 @@ fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
         cpu_fallback: !args.get_or("no-fallback", false)?,
         batch_max,
         coalesce: batch_max > 1 && !no_coalesce,
+        issue_shards,
         ..MemifConfig::default()
     };
     let plan = memif::FaultPlan {
@@ -239,7 +254,7 @@ fn trace_header(args: &Args, s: &MoveScenario) -> String {
         "#! move kind={} page-size={} pages={} count={} window={} depth={} max-retries={} \
          no-fallback={} no-reuse={} no-gang={} profile={} tc-count={} fault-seed={} \
          dma-error-rate={} drop-rate={} delay-rate={} desc-exhaust-rate={} \
-         batch-max={} no-coalesce={}",
+         batch-max={} no-coalesce={} issue-shards={}",
         match s.kind {
             ShapeKind::Migrate => "migrate",
             ShapeKind::Replicate => "replicate",
@@ -266,6 +281,7 @@ fn trace_header(args: &Args, s: &MoveScenario) -> String {
         plan.desc_exhaust_rate,
         s.config.batch_max,
         s.config.batch_max > 1 && !s.config.coalesce,
+        s.config.issue_shards,
     )
 }
 
@@ -398,6 +414,7 @@ fn stats(args: &Args) -> Result<(), String> {
         ("descriptors_written", st.descriptors_written),
         ("descriptor_writes_saved", st.descriptor_writes_saved),
         ("requests_deferred", st.requests_deferred),
+        ("cross_shard_deferred", st.cross_shard_deferred),
     ];
     for (name, value) in rows {
         table.row(&[(*name).to_owned(), value.to_string()]);
@@ -447,6 +464,22 @@ fn replay(args: &Args) -> Result<(), String> {
                 .ok_or_else(|| format!("malformed header token '{kv}'"))
         })
         .collect::<Result<_, _>>()?;
+    // The issue-shard count shapes the event stream (shard-tagged
+    // worker events, per-shard queue layout): a replay forced onto a
+    // different count can never match, so reject the mismatch up front
+    // instead of reporting a divergence at record 0.
+    if let Some(requested) = args.get("issue-shards") {
+        let recorded = pairs
+            .iter()
+            .find(|(k, _)| k == "issue-shards")
+            .map_or("1", |(_, v)| v.as_str());
+        if requested != recorded {
+            return Err(format!(
+                "--issue-shards {requested} conflicts with the trace (recorded with \
+                 issue-shards={recorded}); replay re-runs the recorded configuration"
+            ));
+        }
+    }
     let scenario = move_scenario(&Args::from_pairs("move", pairs))?;
 
     let logged = run_logged(&scenario);

@@ -224,6 +224,28 @@ impl Memif {
         sim: &mut Sim<System>,
         spec: MoveSpec,
     ) -> Result<(ReqId, SimDuration), MemifError> {
+        let shards = sys
+            .device(self.device)
+            .ok_or(MemifError::NoSuchDevice)?
+            .config
+            .issue_shards
+            .max(1);
+        // Region-affinity routing: hash the covering VMA's base (not the
+        // request's own address) so every request touching one mapped
+        // region lands on the same shard — same-region FIFO and the
+        // deferred-hazard guard then compose per shard exactly as in the
+        // single-worker driver. Requests outside any VMA (rejected later
+        // in planning) fall back to their own base address.
+        let shard = if shards == 1 {
+            0
+        } else {
+            let len = u64::from(spec.pages) * spec.page_size.bytes();
+            let base = sys
+                .space(self.owner)
+                .vma_covering(spec.src, len)
+                .map_or(spec.src.as_u64(), |v| v.start.as_u64());
+            (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % shards
+        };
         let device = sys
             .device_mut(self.device)
             .ok_or(MemifError::NoSuchDevice)?;
@@ -246,28 +268,38 @@ impl Memif {
         };
 
         let mut cpu = sys.cost.queue_op;
-        let color = dev(sys, self.device)
-            .region
-            .enqueue(QueueId::Staging, slot, &req)?;
+        let color =
+            dev(sys, self.device)
+                .region
+                .enqueue_sharded(QueueId::Staging, shard, slot, &req)?;
 
         if color == Color::Blue {
-            // This thread is the flusher (§4.4 pseudo-code).
+            // This thread is the flusher (§4.4 pseudo-code) — for its
+            // own shard only; each shard runs the color protocol
+            // independently.
             loop {
                 // flush: staging -> submission
-                while let Some(d) = dev(sys, self.device).region.dequeue(QueueId::Staging)? {
-                    dev(sys, self.device)
-                        .region
-                        .enqueue(QueueId::Submission, d.slot, &d.req)?;
+                while let Some(d) = dev(sys, self.device)
+                    .region
+                    .dequeue_sharded(QueueId::Staging, shard)?
+                {
+                    dev(sys, self.device).region.enqueue_sharded(
+                        QueueId::Submission,
+                        shard,
+                        d.slot,
+                        &d.req,
+                    )?;
                     cpu += sys.cost.queue_op * 2;
                 }
-                match dev(sys, self.device)
-                    .region
-                    .set_color(QueueId::Staging, Color::Red)
-                {
+                match dev(sys, self.device).region.set_color_sharded(
+                    QueueId::Staging,
+                    shard,
+                    Color::Red,
+                ) {
                     Err(_) => continue,      // queue refilled: re-flush
                     Ok(Color::Red) => break, // another thread already kicked
                     Ok(Color::Blue) => {
-                        cpu += driver::syscall::mov_one(sys, sim, self.device);
+                        cpu += driver::syscall::mov_one(sys, sim, self.device, shard);
                         break;
                     }
                 }

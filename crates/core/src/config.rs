@@ -85,6 +85,14 @@ pub struct MemifConfig {
     /// descriptor. Off by default: the seed figures dedicate one
     /// descriptor per page.
     pub coalesce: bool,
+    /// Number of issue shards: staging/submission queue pairs, each
+    /// drained by its own kernel worker on its own simulated CPU.
+    /// Submissions are routed by a region-affinity hash of the request's
+    /// covering VMA, so requests that could overlap land on the same
+    /// shard and keep per-region FIFO order; a cross-shard in-flight
+    /// span index catches the residue. 1 (default) reproduces the
+    /// single-queue, single-worker issue path exactly.
+    pub issue_shards: usize,
 }
 
 impl Default for MemifConfig {
@@ -103,6 +111,7 @@ impl Default for MemifConfig {
             cpu_fallback: true,
             batch_max: 1,
             coalesce: false,
+            issue_shards: 1,
         }
     }
 }
@@ -137,5 +146,14 @@ mod tests {
         let c = MemifConfig::default();
         assert_eq!(c.batch_max, 1, "one request per wake, as the seed");
         assert!(!c.coalesce, "one descriptor per page, as the seed");
+    }
+
+    #[test]
+    fn sharding_default_preserves_seed_behaviour() {
+        let c = MemifConfig::default();
+        assert_eq!(
+            c.issue_shards, 1,
+            "one staging queue, one kernel worker, as the seed"
+        );
     }
 }

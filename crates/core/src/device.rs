@@ -96,6 +96,11 @@ pub struct DriverStats {
     /// Requests held back at issue because their address range overlaps
     /// a still-in-flight request (same-region hazard guard).
     pub requests_deferred: u64,
+    /// The subset of `requests_deferred` whose conflicting in-flight
+    /// request was issued by a *different* shard — overlaps the
+    /// region-affinity routing could not co-locate, caught by the
+    /// cross-shard span index. Always 0 at `issue_shards = 1`.
+    pub cross_shard_deferred: u64,
     /// Driver cost per phase (Figure 6 columns).
     pub phases: PhaseBreakdown,
 }
@@ -164,6 +169,9 @@ pub(crate) struct Inflight {
     /// reporting `bytes_done` completed exactly the requests whose
     /// `chain_offset + own bytes <= bytes_done`.
     pub chain_offset: u64,
+    /// The issue shard whose worker planned and launched this request;
+    /// its release/poll work returns to the same worker's CPU.
+    pub shard: usize,
 }
 
 /// Reusable per-device working buffers for request planning. Taken out
@@ -182,6 +190,25 @@ pub(crate) struct PlanScratch {
     pub segments: Vec<memif_hwsim::dma::SgSegment>,
 }
 
+/// Per-shard kernel-worker state. Each issue shard owns one worker: its
+/// own CPU-occupancy model, deferred FIFO, and planning scratch, so S
+/// shards prepare requests on S simulated CPUs concurrently while still
+/// contending for the shared transfer controllers and descriptor pool.
+#[derive(Debug, Default)]
+pub(crate) struct IssueShard {
+    /// Dequeued requests parked because their address range overlaps a
+    /// still-in-flight request: planning them now would overwrite the
+    /// in-flight remap's semi-final PTEs and turn a driver-visible
+    /// ordering hazard into a spurious `Raced`. Re-examined (FIFO) every
+    /// worker round; a parked request issues once its conflict retires.
+    pub deferred: Vec<memif_lockfree::Dequeued>,
+    /// Planning scratch buffers, reused across this shard's requests.
+    pub scratch: PlanScratch,
+    /// This shard's worker CPU is occupied until this instant (a worker
+    /// prepares requests one at a time even when transfers overlap).
+    pub busy_until: SimTime,
+}
+
 /// An open memif device.
 pub struct MemifDevice {
     /// Device id.
@@ -197,17 +224,13 @@ pub struct MemifDevice {
     /// Completion log.
     pub log: Vec<CompletionRecord>,
     pub(crate) inflight: Vec<Inflight>,
-    /// Dequeued requests parked because their address range overlaps a
-    /// still-in-flight request: planning them now would overwrite the
-    /// in-flight remap's semi-final PTEs and turn a driver-visible
-    /// ordering hazard into a spurious `Raced`. Re-examined (FIFO) every
-    /// worker round; a parked request issues once its conflict retires.
-    pub(crate) deferred: Vec<memif_lockfree::Dequeued>,
-    /// Planning scratch buffers, reused across requests.
-    pub(crate) scratch: PlanScratch,
-    /// The kernel worker's CPU is occupied until this instant (it
-    /// prepares requests one at a time even when transfers overlap).
-    pub(crate) kthread_busy_until: SimTime,
+    /// Per-shard worker state; length = `config.issue_shards` (min 1).
+    pub(crate) shards: Vec<IssueShard>,
+    /// Byte spans of every in-flight request (source, plus replication
+    /// destination), device-wide. The issue-time hazard check consults
+    /// this instead of rescanning `inflight`, which also makes it catch
+    /// overlaps across shards.
+    pub(crate) spans: memif_lockfree::InflightIndex,
     pub(crate) next_req_id: u64,
     pub(crate) next_token: u64,
     pub(crate) submit_times: HashMap<u64, SimTime>,
@@ -232,7 +255,8 @@ impl MemifDevice {
         owner: SpaceId,
         config: MemifConfig,
     ) -> Result<Self, MemifError> {
-        let region = Region::new(config.queue_capacity)?;
+        let shard_count = config.issue_shards.max(1);
+        let region = Region::new_sharded(config.queue_capacity, shard_count)?;
         Ok(MemifDevice {
             id,
             owner,
@@ -241,14 +265,23 @@ impl MemifDevice {
             stats: DriverStats::default(),
             log: Vec::new(),
             inflight: Vec::new(),
-            deferred: Vec::new(),
-            scratch: PlanScratch::default(),
-            kthread_busy_until: SimTime::ZERO,
+            shards: (0..shard_count).map(|_| IssueShard::default()).collect(),
+            spans: memif_lockfree::InflightIndex::new(),
             next_req_id: 0,
             next_token: 0,
             submit_times: HashMap::new(),
             pollers: Vec::new(),
         })
+    }
+
+    /// Removes the in-flight record at `index`, dropping its byte spans
+    /// from the cross-shard overlap index in the same motion. Every
+    /// terminal path (release, abort, failure teardown) retires records
+    /// through here so the index can never leak a span.
+    pub(crate) fn take_inflight(&mut self, index: usize) -> Inflight {
+        let inflight = self.inflight.remove(index);
+        self.spans.remove(inflight.token);
+        inflight
     }
 
     /// The poll threshold in effect (§5.4): config override or the cost

@@ -140,6 +140,7 @@ pub(crate) fn on_dma_complete(
     let token = inflight.token;
     let req_id = inflight.req.id;
     let interrupt_mode = inflight.interrupt_mode;
+    let shard = inflight.shard;
     for t in &member_tokens {
         if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *t) {
             i.completed = true;
@@ -186,14 +187,16 @@ pub(crate) fn on_dma_complete(
         // free.
         let poll_cost = sys.cost.queue_op + sys.cost.kthread_wakeup;
         sys.meter.charge(Context::KernelThread, poll_cost);
+        sys.meter.attribute_worker(shard, poll_cost);
         {
             let stats = &mut dev_mut(sys, id).stats;
             stats.polled += 1;
             stats.phases.add(Phase::Interface, poll_cost);
         }
-        // The worker may still be preparing another request (pipelining);
-        // Release must wait for its CPU — one thread, one activity.
-        let ready_at = (sim.now() + poll_cost).max(dev(sys, id).kthread_busy_until);
+        // The owning shard's worker may still be preparing another
+        // request (pipelining); Release must wait for its CPU — one
+        // thread, one activity.
+        let ready_at = (sim.now() + poll_cost).max(dev(sys, id).shards[shard].busy_until);
         sys.trace_emit(
             sim.now(),
             poll_cost,
@@ -201,7 +204,7 @@ pub(crate) fn on_dma_complete(
             "kthread wakes from timed sleep",
             Some(req_id),
         );
-        dev_mut(sys, id).kthread_busy_until = ready_at;
+        dev_mut(sys, id).shards[shard].busy_until = ready_at;
         sim.schedule_at(ready_at, SimEvent::PollRelease { device: id, token });
         // Batch fan-out: one timed wakeup serviced the whole chain; the
         // worker releases every member in chain order.
@@ -226,8 +229,9 @@ pub(crate) fn irq_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId,
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the completion window
     };
-    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
+    let shard = inflight.shard;
     let release_cost = release_and_notify(sys, sim, id, inflight, Context::Interrupt);
     sys.trace_emit(
         sim.now(),
@@ -238,7 +242,12 @@ pub(crate) fn irq_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId,
     );
     let wakeup = sys.cost.kthread_wakeup;
     sys.meter.charge(Context::KernelThread, wakeup);
-    sim.schedule_after(release_cost + wakeup, SimEvent::KthreadRun { device: id });
+    sys.meter.attribute_worker(shard, wakeup);
+    sim.schedule_after(
+        release_cost + wakeup,
+        SimEvent::KthreadRun { device: id, shard },
+    );
+    crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost + wakeup);
 }
 
 /// Release + Notify on the polling path, once the worker's CPU frees
@@ -250,9 +259,11 @@ pub(crate) fn poll_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the completion window
     };
-    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
+    let shard = inflight.shard;
     let release_cost = release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+    sys.meter.attribute_worker(shard, release_cost);
     sys.trace_emit(
         sim.now(),
         release_cost,
@@ -260,11 +271,12 @@ pub(crate) fn poll_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId
         "ops 4-5: release+notify",
         Some(req_id),
     );
-    // Release/Notify occupies the worker's CPU.
+    // Release/Notify occupies the owning worker's CPU.
     let busy_until = sim.now() + release_cost;
     let device = dev_mut(sys, id);
-    device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
-    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id });
+    device.shards[shard].busy_until = device.shards[shard].busy_until.max(busy_until);
+    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id, shard });
+    crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost);
 }
 
 /// Op 4 + Op 5 for one completed request. Returns the CPU cost.

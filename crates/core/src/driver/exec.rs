@@ -73,8 +73,9 @@ pub(crate) fn execute_request(
     id: DeviceId,
     deq: Dequeued,
     ctx: Context,
+    shard: usize,
 ) -> (SimDuration, ExecOutcome) {
-    execute_attempt(sys, sim, id, deq, ctx, 0)
+    execute_attempt(sys, sim, id, deq, ctx, 0, shard)
 }
 
 /// [`execute_request`] with an attempt budget carried across descriptor-
@@ -87,13 +88,14 @@ pub(crate) fn execute_attempt(
     deq: Dequeued,
     ctx: Context,
     attempt: u32,
+    shard: usize,
 ) -> (SimDuration, ExecOutcome) {
     let req = deq.req;
     let mut elapsed = SimDuration::ZERO;
 
-    let mut scratch = std::mem::take(&mut dev_mut(sys, id).scratch);
+    let mut scratch = std::mem::take(&mut dev_mut(sys, id).shards[shard].scratch);
     let planned = plan_request(sys, id, &req, &mut scratch);
-    dev_mut(sys, id).scratch = scratch;
+    dev_mut(sys, id).shards[shard].scratch = scratch;
     let plan = match planned {
         Ok(p) => p,
         Err((status, cost)) => {
@@ -133,7 +135,8 @@ pub(crate) fn execute_attempt(
                 // request degraded (the remap is still installed) or roll
                 // it back and fail it — never drop it silently.
                 if fallback {
-                    let token = register_inflight(sys, id, req, &deq, None, plan, false, attempt);
+                    let token =
+                        register_inflight(sys, id, req, &deq, None, plan, false, attempt, shard);
                     sim.schedule_after(
                         elapsed,
                         SimEvent::DegradeOrFail {
@@ -177,6 +180,7 @@ pub(crate) fn execute_attempt(
                     color: deq.color,
                     ctx,
                     attempt: next_attempt,
+                    shard,
                 },
             );
             return (elapsed, ExecOutcome::Launched);
@@ -205,7 +209,17 @@ pub(crate) fn execute_attempt(
     let bytes = cfg.bytes;
     let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);
     let interrupt_mode = bytes >= threshold;
-    let token = register_inflight(sys, id, req, &deq, Some(cfg), plan, interrupt_mode, attempt);
+    let token = register_inflight(
+        sys,
+        id,
+        req,
+        &deq,
+        Some(cfg),
+        plan,
+        interrupt_mode,
+        attempt,
+        shard,
+    );
 
     sys.trace_emit(
         sim.now(),
@@ -220,6 +234,9 @@ pub(crate) fn execute_attempt(
 }
 
 /// Registers a prepared request with the device and returns its token.
+/// The request's virtual address spans enter the device-wide in-flight
+/// index here (and leave it in `MemifDevice::take_inflight`), so every
+/// shard's issue-time hazard guard sees it immediately.
 #[allow(clippy::too_many_arguments)]
 fn register_inflight(
     sys: &mut System,
@@ -230,10 +247,16 @@ fn register_inflight(
     plan: Plan,
     interrupt_mode: bool,
     attempt: u32,
+    shard: usize,
 ) -> u64 {
     let device = dev_mut(sys, id);
     let token = device.next_token;
     device.next_token += 1;
+    let len = u64::from(req.nr_pages) << req.page_shift;
+    device.spans.insert(req.src_base, len, token);
+    if req.kind == MoveKind::Replicate {
+        device.spans.insert(req.dst_base, len, token);
+    }
     device.inflight.push(Inflight {
         token,
         req,
@@ -252,6 +275,7 @@ fn register_inflight(
         batch_members: Vec::new(),
         batch_leader: None,
         chain_offset: 0,
+        shard,
     });
     token
 }
@@ -270,12 +294,13 @@ pub(crate) fn execute_batch(
     id: DeviceId,
     batch: Vec<Dequeued>,
     ctx: Context,
+    shard: usize,
 ) -> (SimDuration, ExecOutcome) {
     let mut elapsed = SimDuration::ZERO;
 
     // Plan every member. Rejections drop out of the batch here with
     // their failure notification; survivors have their remaps installed.
-    let mut scratch = std::mem::take(&mut dev_mut(sys, id).scratch);
+    let mut scratch = std::mem::take(&mut dev_mut(sys, id).shards[shard].scratch);
     let mut planned: Vec<(Dequeued, Plan)> = Vec::with_capacity(batch.len());
     for deq in batch {
         match plan_request(sys, id, &deq.req, &mut scratch) {
@@ -287,7 +312,7 @@ pub(crate) fn execute_batch(
             }
         }
     }
-    dev_mut(sys, id).scratch = scratch;
+    dev_mut(sys, id).shards[shard].scratch = scratch;
     if planned.is_empty() {
         return (elapsed, ExecOutcome::Rejected);
     }
@@ -339,6 +364,7 @@ pub(crate) fn execute_batch(
                         color: deq.color,
                         ctx,
                         attempt: next_attempt,
+                        shard,
                     },
                 );
             }
@@ -402,6 +428,7 @@ pub(crate) fn execute_batch(
             plan,
             interrupt_mode,
             0,
+            shard,
         );
         let entry = dev_mut(sys, id)
             .inflight
@@ -757,7 +784,7 @@ pub(crate) fn degrade_or_fail(
         return;
     };
     if !dev(sys, id).config.cpu_fallback {
-        let mut inflight = dev_mut(sys, id).inflight.remove(index);
+        let mut inflight = dev_mut(sys, id).take_inflight(index);
         if let Some(w) = inflight.watchdog.take() {
             sim.cancel(w);
         }
@@ -787,15 +814,16 @@ pub(crate) fn degrade_or_fail(
     for seg in &segments {
         sys.phys.copy(seg.src, seg.dst, seg.bytes);
     }
-    let req_id = {
+    let (req_id, shard) = {
         let device = dev_mut(sys, id);
         device.stats.fallbacks += 1;
         device.stats.phases.add(Phase::Copy, copy_cost);
         let inflight = &mut device.inflight[index];
         inflight.completed = true; // engine freed; pipeline slot opens
         inflight.cfg = None;
-        inflight.req.id
+        (inflight.req.id, inflight.shard)
     };
+    sys.meter.attribute_worker(shard, copy_cost);
     sys.trace_emit(
         sim.now(),
         copy_cost,
@@ -803,9 +831,10 @@ pub(crate) fn degrade_or_fail(
         "degraded: CPU-copy fallback",
         Some(req_id),
     );
-    // Release must wait for the worker's CPU, like the polling path.
-    let ready_at = (sim.now() + copy_cost).max(dev(sys, id).kthread_busy_until);
-    dev_mut(sys, id).kthread_busy_until = ready_at;
+    // Release must wait for the owning worker's CPU, like the polling
+    // path.
+    let ready_at = (sim.now() + copy_cost).max(dev(sys, id).shards[shard].busy_until);
+    dev_mut(sys, id).shards[shard].busy_until = ready_at;
     sim.schedule_at(ready_at, SimEvent::DegradedRelease { device: id, token });
 }
 
@@ -823,9 +852,11 @@ pub(crate) fn degraded_release(
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the copy window
     };
-    let inflight = dev_mut(sys, id).inflight.remove(index);
+    let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
+    let shard = inflight.shard;
     let release_cost = complete::release_and_notify(sys, sim, id, inflight, Context::KernelThread);
+    sys.meter.attribute_worker(shard, release_cost);
     sys.trace_emit(
         sim.now(),
         release_cost,
@@ -835,8 +866,9 @@ pub(crate) fn degraded_release(
     );
     let busy_until = sim.now() + release_cost;
     let device = dev_mut(sys, id);
-    device.kthread_busy_until = device.kthread_busy_until.max(busy_until);
-    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id });
+    device.shards[shard].busy_until = device.shards[shard].busy_until.max(busy_until);
+    sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id, shard });
+    crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost);
 }
 
 /// Frees the transfer-controller slot a retired transfer held on channel

@@ -54,7 +54,7 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
         .iter()
         .position(|i| i.token == token)
         .expect("fault hit an inflight request");
-    let mut inflight = dev_mut(sys, id).inflight.remove(index);
+    let mut inflight = dev_mut(sys, id).take_inflight(index);
     if let Some(watchdog) = inflight.watchdog.take() {
         sim.cancel(watchdog);
     }
@@ -205,8 +205,16 @@ pub(crate) fn teardown_inflight(
         Context::Syscall,
     );
 
-    // Let the worker move on to queued requests.
+    // Let the owning shard's worker move on to queued requests.
     let wakeup = sys.cost.kthread_wakeup;
     sys.meter.charge(Context::KernelThread, wakeup);
-    sim.schedule_after(cost + wakeup, SimEvent::KthreadRun { device: id });
+    sys.meter.attribute_worker(inflight.shard, wakeup);
+    sim.schedule_after(
+        cost + wakeup,
+        SimEvent::KthreadRun {
+            device: id,
+            shard: inflight.shard,
+        },
+    );
+    crate::driver::wake_deferred_peers(sys, sim, id, inflight.shard, cost + wakeup);
 }

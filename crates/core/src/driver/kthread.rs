@@ -1,13 +1,22 @@
-//! The memif kernel worker thread (§5.4).
+//! The memif kernel workers (§5.4).
 //!
-//! Once woken, the worker issues all queued requests — from the
-//! submission queue and directly from the staging queue — one at a time,
-//! continuing from each completion. When both queues are drained it
-//! recolors the staging queue **blue**, handing flushing responsibility
-//! back to the application, and goes back to sleep. Running on a
-//! schedulable kernel thread (not in the application's context) shields
-//! the data-intensive application from context switches and exceptions,
-//! and permits the sleepable operations Remap needs.
+//! Once woken, a worker issues all requests queued on its issue shard —
+//! from the shard's submission queue and directly from its staging
+//! queue — one at a time, continuing from each completion. When both
+//! queues are drained it recolors the shard's staging queue **blue**,
+//! handing flushing responsibility back to the application, and goes
+//! back to sleep. Running on schedulable kernel threads (not in the
+//! application's context) shields the data-intensive application from
+//! context switches and exceptions, and permits the sleepable operations
+//! Remap needs.
+//!
+//! With `issue_shards` > 1 each shard's worker models its own CPU
+//! (`IssueShard::busy_until`), so S workers prepare requests
+//! concurrently while contending for the shared transfer controllers
+//! and descriptor pool. Region-affinity routing (see `api::submit`)
+//! guarantees same-region requests share a shard, so the per-shard FIFO
+//! and the deferred-hazard guard compose exactly as in the single-worker
+//! driver; the device-wide span index extends the guard across shards.
 
 use memif_hwsim::{Context, Sim};
 use memif_lockfree::{Color, Dequeued, MovReq, QueueId};
@@ -18,14 +27,34 @@ use crate::driver::{dev, dev_mut, region_fault};
 use crate::event::SimEvent;
 use crate::system::System;
 
-/// One scheduling round of the worker: issue the next queued request —
-/// if the pipeline has room — or go idle.
+/// A fresh wakeup of shard `shard`'s worker: counts a wakeup if the
+/// round actually runs (the early-outs — pipeline full, CPU still busy —
+/// were never real wakeups and are not counted).
+pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId, shard: usize) {
+    run_round(sys, sim, id, shard, true);
+}
+
+/// The worker's continuation after preparing a request: same round, but
+/// never counts a wakeup (the thread was already awake).
+pub(crate) fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId, shard: usize) {
+    run_round(sys, sim, id, shard, false);
+}
+
+/// One scheduling round of a shard's worker: issue the next queued
+/// request — if the shard's pipeline has room — or go idle.
 ///
 /// With `pipeline_depth` > 1 the worker prepares request *k+1* while
 /// request *k*'s transfer is still on the engine (the EDMA3's multiple
 /// transfer controllers run them concurrently), overlapping the
-/// driver's CPU time with DMA time.
-pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
+/// driver's CPU time with DMA time. The depth budget is per shard: each
+/// worker keeps its own requests pipelined.
+fn run_round(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    shard: usize,
+    count_wakeup: bool,
+) {
     if sys.device(id).is_none() {
         return; // device closed while the wakeup was in flight
     }
@@ -35,19 +64,21 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
     if dev(sys, id)
         .inflight
         .iter()
-        .filter(|i| !i.completed && i.batch_leader.is_none())
+        .filter(|i| i.shard == shard && !i.completed && i.batch_leader.is_none())
         .count()
         >= depth
     {
         return; // pipeline full; a completion re-runs us
     }
-    if sim.now() < dev(sys, id).kthread_busy_until {
+    if sim.now() < dev(sys, id).shards[shard].busy_until {
         // The worker's CPU is mid-preparation of an earlier request; its
         // own continuation (scheduled for that instant) picks up the
         // queues. One thread, one request at a time.
         return;
     }
-    dev_mut(sys, id).stats.kthread_wakeups += 1;
+    if count_wakeup {
+        dev_mut(sys, id).stats.kthread_wakeups += 1;
+    }
 
     loop {
         // Deferred requests first: one may have been waiting on a
@@ -56,26 +87,28 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
         // them costs nothing. FIFO scan keeps same-region order.
         let parked = {
             let device = dev(sys, id);
-            device
+            device.shards[shard]
                 .deferred
                 .iter()
-                .position(|d| !conflicts_inflight(device, &d.req))
+                .position(|d| conflicting_token(device, &d.req).is_none())
         };
         if let Some(pos) = parked {
-            let deq = dev_mut(sys, id).deferred.remove(pos);
-            let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::KernelThread);
-            dev_mut(sys, id).kthread_busy_until = sim.now() + elapsed;
-            sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id });
+            let deq = dev_mut(sys, id).shards[shard].deferred.remove(pos);
+            let (elapsed, _outcome) =
+                execute_request(sys, sim, id, deq, Context::KernelThread, shard);
+            dev_mut(sys, id).shards[shard].busy_until = sim.now() + elapsed;
+            sys.meter.attribute_worker(shard, elapsed);
+            sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id, shard });
             return;
         }
 
         let queue_cost = sys.cost.queue_op;
-        sys.meter.charge(Context::KernelThread, queue_cost);
+        sys.meter.charge_worker(shard, queue_cost);
 
         let device = dev(sys, id);
-        let next = match device.region.dequeue(QueueId::Submission) {
+        let next = match device.region.dequeue_sharded(QueueId::Submission, shard) {
             Ok(Some(deq)) => Some(deq),
-            Ok(None) => match device.region.dequeue(QueueId::Staging) {
+            Ok(None) => match device.region.dequeue_sharded(QueueId::Staging, shard) {
                 Ok(next) => next,
                 Err(e) => {
                     region_fault(sys, sim, id, Context::KernelThread, &e);
@@ -99,35 +132,50 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
                 // legally have both queued. FIFO within a region is
                 // preserved: a later same-region request conflicts with
                 // the same in-flight entry and parks behind this one.
-                if conflicts_inflight(dev(sys, id), &deq.req) {
-                    dev_mut(sys, id).stats.requests_deferred += 1;
-                    dev_mut(sys, id).deferred.push(deq);
+                // The span index is device-wide, so the guard also sees
+                // requests another shard put in flight.
+                if let Some(tok) = conflicting_token(dev(sys, id), &deq.req) {
+                    let cross = dev(sys, id)
+                        .inflight
+                        .iter()
+                        .find(|i| i.token == tok)
+                        .is_some_and(|i| i.shard != shard);
+                    let stats = &mut dev_mut(sys, id).stats;
+                    stats.requests_deferred += 1;
+                    if cross {
+                        stats.cross_shard_deferred += 1;
+                    }
+                    dev_mut(sys, id).shards[shard].deferred.push(deq);
                     continue;
                 }
                 let batch_max = dev(sys, id).config.batch_max.max(1);
                 let (elapsed, _outcome) = if batch_max > 1 {
-                    let mut batch = assemble_batch(sys, id, deq, batch_max);
+                    let mut batch = assemble_batch(sys, id, shard, deq, batch_max);
                     if batch.len() == 1 {
                         let deq = batch.pop().expect("one element");
-                        execute_request(sys, sim, id, deq, Context::KernelThread)
+                        execute_request(sys, sim, id, deq, Context::KernelThread, shard)
                     } else {
-                        execute_batch(sys, sim, id, batch, Context::KernelThread)
+                        execute_batch(sys, sim, id, batch, Context::KernelThread, shard)
                     }
                 } else {
-                    execute_request(sys, sim, id, deq, Context::KernelThread)
+                    execute_request(sys, sim, id, deq, Context::KernelThread, shard)
                 };
                 // Whether launched or rejected, the worker's CPU is busy
                 // for `elapsed`; it looks for more work afterwards (and
                 // issues it if the pipeline still has room).
-                dev_mut(sys, id).kthread_busy_until = sim.now() + elapsed;
-                sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id });
+                dev_mut(sys, id).shards[shard].busy_until = sim.now() + elapsed;
+                sys.meter.attribute_worker(shard, elapsed);
+                sim.schedule_after(elapsed, SimEvent::KthreadContinue { device: id, shard });
                 return;
             }
             None => {
                 // Both queues drained: hand the flush duty back to the
                 // application. A failed recolor means new requests raced
                 // in — keep draining.
-                match dev(sys, id).region.set_color(QueueId::Staging, Color::Blue) {
+                match dev(sys, id)
+                    .region
+                    .set_color_sharded(QueueId::Staging, shard, Color::Blue)
+                {
                     Ok(_) => {
                         sys.trace_emit(
                             sim.now(),
@@ -150,13 +198,15 @@ pub(crate) fn run(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
 /// combined page count bounded by the descriptor pool, and no address
 /// overlap with an earlier batch member (FIFO is the queues' only
 /// ordering guarantee — an overlapping request must stay behind the
-/// batch). Incompatible requests are left in place, in order. Each
+/// batch). Only this shard's queues are probed — a batch never crosses
+/// shards. Incompatible requests are left in place, in order. Each
 /// extra probe pays a queue operation like the solo path's; a region
 /// fault merely stops assembly — the already-drained requests must
 /// still be served.
 fn assemble_batch(
     sys: &mut System,
     id: DeviceId,
+    shard: usize,
     first: Dequeued,
     batch_max: usize,
 ) -> Vec<Dequeued> {
@@ -169,20 +219,23 @@ fn assemble_batch(
     let mut batch = vec![first];
     while batch.len() < batch_max && total_pages < max_pages {
         let queue_cost = sys.cost.queue_op;
-        sys.meter.charge(Context::KernelThread, queue_cost);
+        sys.meter.charge_worker(shard, queue_cost);
         let device = dev(sys, id);
         let fits = |m: &MovReq| {
             m.kind == kind
                 && m.page_shift == shift
                 && total_pages + m.nr_pages as usize <= max_pages
                 && !overlaps_any(&spans, m)
-                && !conflicts_inflight(device, m)
+                && conflicting_token(device, m).is_none()
         };
-        let next = match device.region.dequeue_matching(QueueId::Submission, fits) {
+        let next = match device
+            .region
+            .dequeue_matching_sharded(QueueId::Submission, shard, fits)
+        {
             Ok(Some(d)) => Some(d),
             Ok(None) => device
                 .region
-                .dequeue_matching(QueueId::Staging, fits)
+                .dequeue_matching_sharded(QueueId::Staging, shard, fits)
                 .unwrap_or_default(),
             Err(_) => None,
         };
@@ -195,7 +248,7 @@ fn assemble_batch(
 }
 
 /// Records the virtual address ranges `req` reads or writes.
-fn push_spans(spans: &mut Vec<(u64, u64)>, req: &MovReq) {
+pub(crate) fn push_spans(spans: &mut Vec<(u64, u64)>, req: &MovReq) {
     let len = u64::from(req.nr_pages) << req.page_shift;
     spans.push((req.src_base, len));
     if req.kind == memif_lockfree::MoveKind::Replicate {
@@ -203,17 +256,22 @@ fn push_spans(spans: &mut Vec<(u64, u64)>, req: &MovReq) {
     }
 }
 
-/// True if `req`'s address ranges overlap any request the device still
-/// holds in flight (including completed-but-unreleased entries, whose
-/// semi-final PTEs are still installed). Such a request cannot be
-/// planned yet: its page walk would observe — and its remap overwrite —
-/// the in-flight entry's transient mappings.
-fn conflicts_inflight(device: &crate::device::MemifDevice, req: &MovReq) -> bool {
-    let mut spans: Vec<(u64, u64)> = Vec::new();
-    for i in &device.inflight {
-        push_spans(&mut spans, &i.req);
-    }
-    !spans.is_empty() && overlaps_any(&spans, req)
+/// The token of an in-flight request (any shard; including
+/// completed-but-unreleased entries, whose semi-final PTEs are still
+/// installed) whose address ranges overlap `req`'s, if one exists. Such
+/// a request cannot be planned yet: its page walk would observe — and
+/// its remap overwrite — the in-flight entry's transient mappings. The
+/// check runs against the device-wide span index, which mirrors
+/// `inflight` exactly (spans registered at issue, dropped at retire).
+pub(crate) fn conflicting_token(device: &crate::device::MemifDevice, req: &MovReq) -> Option<u64> {
+    let len = u64::from(req.nr_pages) << req.page_shift;
+    device.spans.first_overlap(req.src_base, len).or_else(|| {
+        if req.kind == memif_lockfree::MoveKind::Replicate {
+            device.spans.first_overlap(req.dst_base, len)
+        } else {
+            None
+        }
+    })
 }
 
 /// True if any of `req`'s address ranges intersects a recorded span.
@@ -225,22 +283,4 @@ fn overlaps_any(spans: &[(u64, u64)], req: &MovReq) -> bool {
             .iter()
             .any(|(sbase, slen)| *base < sbase + slen && *sbase < base + len)
     })
-}
-
-pub(crate) fn run_continue(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) {
-    // Continuation entry that does not re-count a wakeup.
-    if sys.device(id).is_none() {
-        return;
-    }
-    let depth = dev(sys, id).config.pipeline_depth.max(1);
-    let active = dev(sys, id)
-        .inflight
-        .iter()
-        .filter(|i| !i.completed && i.batch_leader.is_none())
-        .count();
-    if active >= depth || sim.now() < dev(sys, id).kthread_busy_until {
-        return;
-    }
-    dev_mut(sys, id).stats.kthread_wakeups = dev(sys, id).stats.kthread_wakeups.saturating_sub(1);
-    run(sys, sim, id);
 }

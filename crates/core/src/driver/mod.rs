@@ -74,3 +74,31 @@ pub(crate) fn region_fault(
         None,
     );
 }
+
+/// Wakes every *other* shard's worker that has parked deferred work,
+/// `delay` after now. Called from each retire path right after the
+/// owning shard's own wakeup: a request deferred on shard A may have
+/// been waiting on a conflict shard B just retired, and B's release
+/// only re-runs B's worker. A no-op with a single shard (and whenever
+/// no peer has deferred work), so the default configuration's event
+/// stream is untouched.
+pub(crate) fn wake_deferred_peers(
+    sys: &mut System,
+    sim: &mut memif_hwsim::Sim<System>,
+    id: DeviceId,
+    shard: usize,
+    delay: memif_hwsim::SimDuration,
+) {
+    let shards = dev(sys, id).shards.len();
+    for s in 0..shards {
+        if s != shard && !dev(sys, id).shards[s].deferred.is_empty() {
+            sim.schedule_after(
+                delay,
+                crate::event::SimEvent::KthreadRun {
+                    device: id,
+                    shard: s,
+                },
+            );
+        }
+    }
+}

@@ -15,9 +15,15 @@ use crate::driver::{dev, dev_mut};
 use crate::event::SimEvent;
 use crate::system::System;
 
-/// Executes one `MOV_ONE` command in the calling process's context.
-/// Returns the time spent inside the kernel (crossing + ops 1–3).
-pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> SimDuration {
+/// Executes one `MOV_ONE` command in the calling process's context,
+/// against issue shard `shard`'s submission queue. Returns the time
+/// spent inside the kernel (crossing + ops 1–3).
+pub(crate) fn mov_one(
+    sys: &mut System,
+    sim: &mut Sim<System>,
+    id: DeviceId,
+    shard: usize,
+) -> SimDuration {
     let crossing = sys.cost.syscall;
     sys.meter.charge(Context::Syscall, crossing);
     sys.trace_emit(
@@ -35,7 +41,10 @@ pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> 
 
     let queue_cost = sys.cost.queue_op;
     sys.meter.charge(Context::Syscall, queue_cost);
-    let next = match dev(sys, id).region.dequeue(QueueId::Submission) {
+    let next = match dev(sys, id)
+        .region
+        .dequeue_sharded(QueueId::Submission, shard)
+    {
         Ok(next) => next,
         Err(e) => {
             // The mapped region failed validation mid-ioctl: fail the
@@ -47,11 +56,37 @@ pub(crate) fn mov_one(sys: &mut System, sim: &mut Sim<System>, id: DeviceId) -> 
 
     match next {
         Some(deq) => {
-            let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::Syscall);
-            // Wake the worker once the syscall's CPU time has passed: it
-            // drains the rest of the burst, pipelining the next
-            // request's preparation with the first transfer.
-            sim.schedule_after(elapsed, SimEvent::KthreadRun { device: id });
+            // The same issue-time hazard guard the worker applies: with
+            // one shard an overlapping request can never reach this
+            // point (it lands on the Red staging queue and goes through
+            // the worker), but with affinity routing the conflicting
+            // requests can arrive on *different* shards, each finding
+            // its own queue idle. Park it; the conflicting request's
+            // retire path wakes every shard with deferred work.
+            if let Some(tok) = crate::driver::kthread::conflicting_token(dev(sys, id), &deq.req) {
+                let cross = dev(sys, id)
+                    .inflight
+                    .iter()
+                    .find(|i| i.token == tok)
+                    .is_some_and(|i| i.shard != shard);
+                let stats = &mut dev_mut(sys, id).stats;
+                stats.requests_deferred += 1;
+                if cross {
+                    stats.cross_shard_deferred += 1;
+                }
+                dev_mut(sys, id).shards[shard].deferred.push(deq);
+                // Any burst-mates behind it still need the worker.
+                sim.schedule_after(
+                    crossing + queue_cost,
+                    SimEvent::KthreadRun { device: id, shard },
+                );
+                return crossing + queue_cost;
+            }
+            let (elapsed, _outcome) = execute_request(sys, sim, id, deq, Context::Syscall, shard);
+            // Wake the shard's worker once the syscall's CPU time has
+            // passed: it drains the rest of the burst, pipelining the
+            // next request's preparation with the first transfer.
+            sim.schedule_after(elapsed, SimEvent::KthreadRun { device: id, shard });
             crossing + queue_cost + elapsed
         }
         None => crossing + queue_cost, // spurious kick: queue already drained

@@ -116,6 +116,8 @@ pub enum SimEvent {
         ctx: memif_hwsim::Context,
         /// Attempt number (drives the bounded-retry budget under chaos).
         attempt: u32,
+        /// The issue shard whose worker owns the retry.
+        shard: usize,
     },
     /// The per-request watchdog deadline expired (chaos mode only).
     WatchdogFire {
@@ -158,16 +160,21 @@ pub enum SimEvent {
         /// In-flight request token.
         token: u64,
     },
-    /// Wake the kernel worker thread (counts a wakeup).
+    /// Wake one issue shard's kernel worker (counts a wakeup if the
+    /// round actually runs).
     KthreadRun {
         /// Device whose worker wakes.
         device: DeviceId,
+        /// The issue shard whose worker wakes (0 when unsharded).
+        shard: usize,
     },
     /// The worker's continuation after preparing a request (does not
     /// re-count a wakeup).
     KthreadContinue {
         /// Device whose worker continues.
         device: DeviceId,
+        /// The issue shard whose worker continues (0 when unsharded).
+        shard: usize,
     },
     /// A bandwidth-brownout transition: set `resource`'s capacity.
     SetCapacity {
@@ -241,10 +248,13 @@ impl SimEvent {
                 device,
                 req,
                 attempt,
+                shard,
                 ..
             } => format!(
-                "{{\"t\":{t},\"type\":\"exec_retry\",\"device\":{},\"req\":{},\"attempt\":{attempt}}}",
-                device.0, req.id,
+                "{{\"t\":{t},\"type\":\"exec_retry\",\"device\":{},\"req\":{},\"attempt\":{attempt}{}}}",
+                device.0,
+                req.id,
+                shard_json(*shard),
             ),
             SimEvent::WatchdogFire { device, token } => format!(
                 "{{\"t\":{t},\"type\":\"watchdog_fire\",\"device\":{},\"token\":{token}}}",
@@ -270,13 +280,15 @@ impl SimEvent {
                 "{{\"t\":{t},\"type\":\"poll_release\",\"device\":{},\"token\":{token}}}",
                 device.0
             ),
-            SimEvent::KthreadRun { device } => format!(
-                "{{\"t\":{t},\"type\":\"kthread_run\",\"device\":{}}}",
-                device.0
+            SimEvent::KthreadRun { device, shard } => format!(
+                "{{\"t\":{t},\"type\":\"kthread_run\",\"device\":{}{}}}",
+                device.0,
+                shard_json(*shard),
             ),
-            SimEvent::KthreadContinue { device } => format!(
-                "{{\"t\":{t},\"type\":\"kthread_continue\",\"device\":{}}}",
-                device.0
+            SimEvent::KthreadContinue { device, shard } => format!(
+                "{{\"t\":{t},\"type\":\"kthread_continue\",\"device\":{}{}}}",
+                device.0,
+                shard_json(*shard),
             ),
             SimEvent::SetCapacity { resource, gbps } => format!(
                 "{{\"t\":{t},\"type\":\"set_capacity\",\"resource\":{},\"gbps\":{gbps}}}",
@@ -287,6 +299,17 @@ impl SimEvent {
                 hook.0
             ),
         }
+    }
+}
+
+/// Shard-index record fragment. Shard 0 is omitted so unsharded runs
+/// (and replays of pre-sharding traces) keep the exact seed record
+/// shapes, byte for byte.
+fn shard_json(shard: usize) -> String {
+    if shard == 0 {
+        String::new()
+    } else {
+        format!(",\"shard\":{shard}")
     }
 }
 
@@ -359,10 +382,11 @@ impl EventWorld for System {
                 color,
                 ctx,
                 attempt,
+                shard,
             } => {
                 if self.device(device).is_some() {
                     let deq = Dequeued { slot, req, color };
-                    let _ = exec::execute_attempt(self, sim, device, deq, ctx, attempt);
+                    let _ = exec::execute_attempt(self, sim, device, deq, ctx, attempt, shard);
                 }
             }
             SimEvent::WatchdogFire { device, token } => {
@@ -386,8 +410,10 @@ impl EventWorld for System {
             SimEvent::PollRelease { device, token } => {
                 complete::poll_release(self, sim, device, token);
             }
-            SimEvent::KthreadRun { device } => kthread::run(self, sim, device),
-            SimEvent::KthreadContinue { device } => kthread::run_continue(self, sim, device),
+            SimEvent::KthreadRun { device, shard } => kthread::run(self, sim, device, shard),
+            SimEvent::KthreadContinue { device, shard } => {
+                kthread::run_continue(self, sim, device, shard);
+            }
             SimEvent::SetCapacity { resource, gbps } => {
                 self.flows.set_capacity(sim, resource, gbps);
             }

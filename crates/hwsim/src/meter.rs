@@ -155,9 +155,15 @@ impl PhaseBreakdown {
 }
 
 /// Busy-time accumulation per execution context.
+///
+/// When the issue path is sharded, kernel-worker time is additionally
+/// attributed per worker via [`UsageMeter::charge_worker`], so a harness
+/// can report the per-shard CPU series next to the aggregate
+/// [`Context::KernelThread`] line.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UsageMeter {
     busy: BTreeMap<Context, SimDuration>,
+    workers: Vec<SimDuration>,
 }
 
 impl UsageMeter {
@@ -170,6 +176,37 @@ impl UsageMeter {
     /// Charges `cost` of busy time to `ctx`.
     pub fn charge(&mut self, ctx: Context, cost: SimDuration) {
         *self.busy.entry(ctx).or_default() += cost;
+    }
+
+    /// Charges `cost` of [`Context::KernelThread`] busy time, attributing
+    /// it to kernel worker `worker` as well as the aggregate context.
+    pub fn charge_worker(&mut self, worker: usize, cost: SimDuration) {
+        self.charge(Context::KernelThread, cost);
+        self.attribute_worker(worker, cost);
+    }
+
+    /// Attributes `cost` to kernel worker `worker` **without** touching
+    /// the aggregate contexts — for time that was already charged (e.g.
+    /// inside the execution path) and only needs per-worker bookkeeping.
+    pub fn attribute_worker(&mut self, worker: usize, cost: SimDuration) {
+        if self.workers.len() <= worker {
+            self.workers.resize(worker + 1, SimDuration::ZERO);
+        }
+        self.workers[worker] += cost;
+    }
+
+    /// Busy time accumulated by kernel worker `worker` (zero if it never
+    /// ran).
+    #[must_use]
+    pub fn worker_busy(&self, worker: usize) -> SimDuration {
+        self.workers.get(worker).copied().unwrap_or_default()
+    }
+
+    /// Per-worker kernel-thread busy times, indexed by worker (shard).
+    /// Empty when no worker-attributed charge was recorded.
+    #[must_use]
+    pub fn workers(&self) -> &[SimDuration] {
+        &self.workers
     }
 
     /// Busy time accumulated by `ctx`.
@@ -201,6 +238,7 @@ impl UsageMeter {
     /// Resets all counters.
     pub fn reset(&mut self) {
         self.busy.clear();
+        self.workers.clear();
     }
 }
 
@@ -282,6 +320,27 @@ mod tests {
         meas.meter.charge(Context::App, SimDuration::from_ns(1_000));
         assert_eq!(meas.wall().as_ns(), 2_000);
         assert!((meas.cpu_usage() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_worker_attribution() {
+        let mut m = UsageMeter::new();
+        assert!(m.workers().is_empty());
+        m.charge_worker(2, SimDuration::from_ns(100));
+        m.charge_worker(0, SimDuration::from_ns(40));
+        m.charge_worker(2, SimDuration::from_ns(1));
+        assert_eq!(m.worker_busy(0).as_ns(), 40);
+        assert_eq!(m.worker_busy(1), SimDuration::ZERO);
+        assert_eq!(m.worker_busy(2).as_ns(), 101);
+        assert_eq!(m.worker_busy(99), SimDuration::ZERO);
+        // Worker charges flow into the aggregate kernel-thread context;
+        // attribution-only does not (the time was charged elsewhere).
+        assert_eq!(m.busy(Context::KernelThread).as_ns(), 141);
+        m.attribute_worker(0, SimDuration::from_ns(9));
+        assert_eq!(m.worker_busy(0).as_ns(), 49);
+        assert_eq!(m.busy(Context::KernelThread).as_ns(), 141);
+        m.reset();
+        assert!(m.workers().is_empty());
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use freelist::FreeList;
 pub use link::{Color, Link, SlotIndex, MAX_SLOTS, NULL_INDEX};
 pub use movreq::{FailReason, MovReq, MoveKind, MoveStatus, PAYLOAD_WORDS};
 pub use queue::{ColorQueue, Dequeued, SetColorError};
-pub use region::{QueueId, Region, RegionError, RegionStats};
+pub use region::{InflightIndex, QueueId, Region, RegionError, RegionStats};
 pub use slot::Slot;

@@ -5,6 +5,14 @@
 //! it is a single heap allocation shared by the "user" and "kernel" sides
 //! through an `Arc`. Layout mirrors the paper: queue/list metadata
 //! followed by an array of `mov_req` slots.
+//!
+//! The staging and submission queues may be **sharded** (one pair per
+//! issue shard, [`Region::new_sharded`]): each shard is an independent
+//! red–blue queue pair drained by its own kernel worker, while the free
+//! list and the two completion queues stay region-global. Requests are
+//! routed to shards by region affinity in the driver, so per-region FIFO
+//! holds within a shard by construction; [`InflightIndex`] is the
+//! cross-shard overlap net for the rare routing collision.
 
 use std::fmt;
 
@@ -45,6 +53,8 @@ impl QueueId {
 pub enum RegionError {
     /// The requested capacity was zero or above [`MAX_SLOTS`].
     BadCapacity(usize),
+    /// The requested shard count was zero.
+    BadShardCount(usize),
     /// A slot index failed kernel-side validation (out of bounds). The
     /// paper: indices "will be validated by the memif driver before use".
     InvalidSlot(SlotIndex),
@@ -56,6 +66,7 @@ impl fmt::Display for RegionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegionError::BadCapacity(n) => write!(f, "bad region capacity {n}"),
+            RegionError::BadShardCount(n) => write!(f, "bad shard count {n}"),
             RegionError::InvalidSlot(i) => write!(f, "slot index {i} out of bounds"),
             RegionError::Exhausted => f.write_str("no free request slots"),
         }
@@ -69,9 +80,9 @@ impl std::error::Error for RegionError {}
 pub struct RegionStats {
     /// Free request slots.
     pub free: usize,
-    /// Requests staged but not yet flushed to the kernel.
+    /// Requests staged but not yet flushed to the kernel (all shards).
     pub staging: usize,
-    /// Requests queued for the kernel worker.
+    /// Requests queued for the kernel workers (all shards).
     pub submission: usize,
     /// Successful completions awaiting retrieval.
     pub completion_ok: usize,
@@ -79,17 +90,19 @@ pub struct RegionStats {
     pub completion_err: usize,
 }
 
-/// The shared region: slot arena, free list, and the four queues.
+/// The shared region: slot arena, free list, and the queues.
 ///
-/// `capacity` request slots are usable by the application; four extra
-/// slots serve as the queues' initial dummies (the dummy identity rotates
-/// as elements flow, but the total is conserved).
+/// `capacity` request slots are usable by the application; `2·S + 2`
+/// extra slots serve as the queues' initial dummies for `S` issue shards
+/// (the dummy identity rotates as elements flow, but the total is
+/// conserved). The single-shard layout is identical to the original
+/// four-queue region.
 pub struct Region {
     slots: Box<[Slot]>,
     capacity: usize,
     free: FreeList,
-    staging: ColorQueue,
-    submission: ColorQueue,
+    staging: Vec<ColorQueue>,
+    submission: Vec<ColorQueue>,
     completion_ok: ColorQueue,
     completion_err: ColorQueue,
 }
@@ -98,13 +111,15 @@ impl fmt::Debug for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Region")
             .field("capacity", &self.capacity)
+            .field("shards", &self.staging.len())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl Region {
-    /// Creates a region with `capacity` usable request slots.
+    /// Creates a region with `capacity` usable request slots and a single
+    /// issue shard.
     ///
     /// The staging queue starts **blue**: with no kernel thread active,
     /// the first submitter is responsible for flushing and kicking the
@@ -115,21 +130,48 @@ impl Region {
     /// [`RegionError::BadCapacity`] if `capacity` is zero or exceeds
     /// [`MAX_SLOTS`] − 4.
     pub fn new(capacity: usize) -> Result<Self, RegionError> {
-        if capacity == 0 || capacity > MAX_SLOTS - QueueId::ALL.len() {
+        Self::new_sharded(capacity, 1)
+    }
+
+    /// Creates a region with `capacity` usable request slots and `shards`
+    /// staging/submission queue pairs (one per issue shard).
+    ///
+    /// Every staging queue starts **blue** (first submitter flushes).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::BadShardCount`] if `shards` is zero;
+    /// [`RegionError::BadCapacity`] if `capacity` is zero or
+    /// `capacity + 2·shards + 2` exceeds [`MAX_SLOTS`].
+    pub fn new_sharded(capacity: usize, shards: usize) -> Result<Self, RegionError> {
+        if shards == 0 {
+            return Err(RegionError::BadShardCount(shards));
+        }
+        let dummies = 2 * shards + 2;
+        if capacity == 0 || capacity > MAX_SLOTS.saturating_sub(dummies) {
             return Err(RegionError::BadCapacity(capacity));
         }
-        let total = capacity + QueueId::ALL.len();
+        let total = capacity + dummies;
         let slots: Box<[Slot]> = (0..total).map(|_| Slot::new()).collect();
         let free = FreeList::new();
         for i in 0..capacity {
             free.push(&slots, i as SlotIndex);
         }
+        // Dummy layout: staging shards first, then submission shards,
+        // then the two completion queues — at `shards == 1` this is the
+        // original staging/submission/ok/err order, byte-identical.
         let dummy = |k: usize| (capacity + k) as SlotIndex;
+        let staging = (0..shards)
+            .map(|s| ColorQueue::new(&slots, dummy(s), Color::Blue))
+            .collect();
+        let submission = (0..shards)
+            .map(|s| ColorQueue::new(&slots, dummy(shards + s), Color::Blue))
+            .collect();
         let region = Region {
-            staging: ColorQueue::new(&slots, dummy(0), Color::Blue),
-            submission: ColorQueue::new(&slots, dummy(1), Color::Blue),
-            completion_ok: ColorQueue::new(&slots, dummy(2), Color::Blue),
-            completion_err: ColorQueue::new(&slots, dummy(3), Color::Blue),
+            completion_ok: ColorQueue::new(&slots, dummy(2 * shards), Color::Blue),
+            completion_err: ColorQueue::new(&slots, dummy(2 * shards + 1), Color::Blue),
+            staging,
+            submission,
             slots,
             capacity,
             free,
@@ -143,13 +185,31 @@ impl Region {
         self.capacity
     }
 
-    fn queue(&self, id: QueueId) -> &ColorQueue {
+    /// Number of issue shards (staging/submission queue pairs).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Resolves a queue id to a concrete queue. For the sharded queues
+    /// (`Staging`, `Submission`) the `shard` index selects the pair; the
+    /// completion queues are region-global and ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()` for a sharded queue id — shard
+    /// routing is driver-internal and a bad index is a driver bug.
+    fn queue_sharded(&self, id: QueueId, shard: usize) -> &ColorQueue {
         match id {
-            QueueId::Staging => &self.staging,
-            QueueId::Submission => &self.submission,
+            QueueId::Staging => &self.staging[shard],
+            QueueId::Submission => &self.submission[shard],
             QueueId::CompletionOk => &self.completion_ok,
             QueueId::CompletionErr => &self.completion_err,
         }
+    }
+
+    fn queue(&self, id: QueueId) -> &ColorQueue {
+        self.queue_sharded(id, 0)
     }
 
     /// Validates a slot index as the kernel driver does before use.
@@ -185,8 +245,8 @@ impl Region {
         Ok(())
     }
 
-    /// Enqueues the caller-owned `slot` carrying `req` onto queue `id`,
-    /// returning the observed queue color.
+    /// Enqueues the caller-owned `slot` carrying `req` onto queue `id`
+    /// (shard 0 for sharded queues), returning the observed queue color.
     ///
     /// # Errors
     ///
@@ -197,24 +257,64 @@ impl Region {
         slot: SlotIndex,
         req: &MovReq,
     ) -> Result<Color, RegionError> {
-        self.validate(slot)?;
-        Ok(self.queue(id).enqueue(&self.slots, slot, req))
+        self.enqueue_sharded(id, 0, slot, req)
     }
 
-    /// Dequeues from queue `id`; `Ok(None)` means empty.
+    /// Enqueues onto shard `shard` of queue `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidSlot`] if out of bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn enqueue_sharded(
+        &self,
+        id: QueueId,
+        shard: usize,
+        slot: SlotIndex,
+        req: &MovReq,
+    ) -> Result<Color, RegionError> {
+        self.validate(slot)?;
+        Ok(self
+            .queue_sharded(id, shard)
+            .enqueue(&self.slots, slot, req))
+    }
+
+    /// Dequeues from queue `id` (shard 0 for sharded queues); `Ok(None)`
+    /// means empty.
     ///
     /// # Errors
     ///
     /// Currently infallible; `Result` reserves room for kernel-side
     /// validation failures.
     pub fn dequeue(&self, id: QueueId) -> Result<Option<Dequeued>, RegionError> {
-        Ok(self.queue(id).dequeue(&self.slots))
+        self.dequeue_sharded(id, 0)
     }
 
-    /// Dequeues from queue `id` only if the front request satisfies
-    /// `pred`; `Ok(None)` means empty *or* mismatched front (which is
-    /// left in place). The batched issue path uses this to drain only
-    /// requests compatible with the batch being assembled.
+    /// Dequeues from shard `shard` of queue `id`; `Ok(None)` means empty.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` reserves room for kernel-side
+    /// validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn dequeue_sharded(
+        &self,
+        id: QueueId,
+        shard: usize,
+    ) -> Result<Option<Dequeued>, RegionError> {
+        Ok(self.queue_sharded(id, shard).dequeue(&self.slots))
+    }
+
+    /// Dequeues from queue `id` (shard 0) only if the front request
+    /// satisfies `pred`; `Ok(None)` means empty *or* mismatched front
+    /// (which is left in place). The batched issue path uses this to
+    /// drain only requests compatible with the batch being assembled.
     ///
     /// # Errors
     ///
@@ -225,37 +325,171 @@ impl Region {
         id: QueueId,
         pred: impl FnMut(&MovReq) -> bool,
     ) -> Result<Option<Dequeued>, RegionError> {
-        Ok(self.queue(id).dequeue_if(&self.slots, pred))
+        self.dequeue_matching_sharded(id, 0, pred)
     }
 
-    /// Attempts to recolor queue `id` (only succeeds when empty; §4.3).
+    /// Like [`Region::dequeue_matching`], on shard `shard`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` reserves room for kernel-side
+    /// validation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn dequeue_matching_sharded(
+        &self,
+        id: QueueId,
+        shard: usize,
+        pred: impl FnMut(&MovReq) -> bool,
+    ) -> Result<Option<Dequeued>, RegionError> {
+        Ok(self.queue_sharded(id, shard).dequeue_if(&self.slots, pred))
+    }
+
+    /// Attempts to recolor queue `id` (shard 0; only succeeds when empty,
+    /// §4.3).
     ///
     /// # Errors
     ///
     /// [`SetColorError::NotEmpty`] if the queue holds elements.
     pub fn set_color(&self, id: QueueId, new: Color) -> Result<Color, SetColorError> {
-        self.queue(id).set_color(&self.slots, new)
+        self.set_color_sharded(id, 0, new)
     }
 
-    /// The current color of queue `id`.
+    /// Attempts to recolor shard `shard` of queue `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`SetColorError::NotEmpty`] if the queue holds elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn set_color_sharded(
+        &self,
+        id: QueueId,
+        shard: usize,
+        new: Color,
+    ) -> Result<Color, SetColorError> {
+        self.queue_sharded(id, shard).set_color(&self.slots, new)
+    }
+
+    /// The current color of queue `id` (shard 0 for sharded queues).
     pub fn color(&self, id: QueueId) -> Color {
-        self.queue(id).color(&self.slots)
+        self.color_sharded(id, 0)
     }
 
-    /// True if queue `id` held no element at the read instant.
+    /// The current color of shard `shard` of queue `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn color_sharded(&self, id: QueueId, shard: usize) -> Color {
+        self.queue_sharded(id, shard).color(&self.slots)
+    }
+
+    /// True if queue `id` held no element at the read instant — for the
+    /// sharded queues, no element in **any** shard (idle checks).
     pub fn is_empty(&self, id: QueueId) -> bool {
-        self.queue(id).is_empty(&self.slots)
+        match id {
+            QueueId::Staging | QueueId::Submission => {
+                (0..self.shards()).all(|s| self.is_empty_sharded(id, s))
+            }
+            _ => self.queue(id).is_empty(&self.slots),
+        }
+    }
+
+    /// True if shard `shard` of queue `id` held no element at the read
+    /// instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for a sharded queue id.
+    pub fn is_empty_sharded(&self, id: QueueId, shard: usize) -> bool {
+        self.queue_sharded(id, shard).is_empty(&self.slots)
     }
 
     /// Occupancy snapshot (diagnostics; meaningful when quiescent).
+    /// Sharded queue counts are summed across shards.
     pub fn stats(&self) -> RegionStats {
         RegionStats {
             free: self.free.len_approx(&self.slots),
-            staging: self.staging.len_approx(&self.slots),
-            submission: self.submission.len_approx(&self.slots),
+            staging: self.staging.iter().map(|q| q.len_approx(&self.slots)).sum(),
+            submission: self
+                .submission
+                .iter()
+                .map(|q| q.len_approx(&self.slots))
+                .sum(),
             completion_ok: self.completion_ok.len_approx(&self.slots),
             completion_err: self.completion_err.len_approx(&self.slots),
         }
+    }
+}
+
+/// Cross-shard in-flight span index.
+///
+/// Shard routing sends every request for the same region (VMA) to the
+/// same shard, so the per-shard deferred-hazard guard already serializes
+/// overlapping requests that hash together. This index is the safety net
+/// for the remaining case: two *different* regions whose byte spans
+/// overlap (or a routing fallback) landing on different shards. The
+/// driver registers every in-flight request's source (and, for
+/// replication, destination) span here and consults it before issuing.
+///
+/// Spans are `(base, len, token)` triples; a token may own several spans
+/// and all of them are dropped by [`InflightIndex::remove`]. The set is
+/// small (bounded by pipeline depth × shards), so a linear scan beats
+/// anything fancier.
+#[derive(Debug, Default)]
+pub struct InflightIndex {
+    spans: Vec<(u64, u64, u64)>,
+}
+
+impl InflightIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the half-open byte span `[base, base + len)` under
+    /// `token`. Zero-length spans are ignored (they overlap nothing).
+    pub fn insert(&mut self, base: u64, len: u64, token: u64) {
+        if len > 0 {
+            self.spans.push((base, len, token));
+        }
+    }
+
+    /// Drops every span registered under `token`.
+    pub fn remove(&mut self, token: u64) {
+        self.spans.retain(|&(_, _, t)| t != token);
+    }
+
+    /// The token of the oldest-registered span overlapping
+    /// `[base, base + len)`, if any.
+    #[must_use]
+    pub fn first_overlap(&self, base: u64, len: u64) -> Option<u64> {
+        if len == 0 {
+            return None;
+        }
+        let (qb, qe) = (u128::from(base), u128::from(base) + u128::from(len));
+        self.spans
+            .iter()
+            .find(|&&(b, l, _)| qb < u128::from(b) + u128::from(l) && u128::from(b) < qe)
+            .map(|&(_, _, t)| t)
+    }
+
+    /// True if no span is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of registered spans (not distinct tokens).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
     }
 }
 
@@ -372,6 +606,91 @@ mod tests {
             Color::Red
         );
         assert_eq!(r.color(QueueId::Staging), Color::Red);
+    }
+
+    #[test]
+    fn sharded_layout_and_isolation() {
+        assert!(matches!(
+            Region::new_sharded(4, 0),
+            Err(RegionError::BadShardCount(0))
+        ));
+        let r = Region::new_sharded(4, 3).unwrap();
+        assert_eq!(r.shards(), 3);
+        // 4 usable + 2·3 + 2 dummies = 12 slots.
+        assert!(r.validate(11).is_ok());
+        assert_eq!(r.validate(12), Err(RegionError::InvalidSlot(12)));
+
+        let a = r.alloc_slot().unwrap();
+        let b = r.alloc_slot().unwrap();
+        r.enqueue_sharded(QueueId::Staging, 0, a, &req(1)).unwrap();
+        r.enqueue_sharded(QueueId::Staging, 2, b, &req(2)).unwrap();
+        // Shards are independent FIFOs...
+        assert!(r.dequeue_sharded(QueueId::Staging, 1).unwrap().is_none());
+        assert_eq!(
+            r.dequeue_sharded(QueueId::Staging, 2)
+                .unwrap()
+                .unwrap()
+                .req
+                .id,
+            2
+        );
+        // ...with independent colors...
+        assert_eq!(
+            r.set_color_sharded(QueueId::Staging, 2, Color::Red),
+            Ok(Color::Blue)
+        );
+        assert_eq!(r.color_sharded(QueueId::Staging, 2), Color::Red);
+        assert_eq!(r.color_sharded(QueueId::Staging, 0), Color::Blue);
+        // ...while the unsharded emptiness check spans all shards.
+        assert!(!r.is_empty(QueueId::Staging));
+        assert!(r.is_empty_sharded(QueueId::Staging, 2));
+        assert_eq!(r.stats().staging, 1);
+        assert_eq!(
+            r.dequeue_sharded(QueueId::Staging, 0)
+                .unwrap()
+                .unwrap()
+                .req
+                .id,
+            1
+        );
+        assert!(r.is_empty(QueueId::Staging));
+    }
+
+    #[test]
+    fn single_shard_matches_seed_layout() {
+        // `new` is `new_sharded(_, 1)`: same slot count, same dummy order.
+        let r = Region::new(2).unwrap();
+        assert_eq!(r.shards(), 1);
+        assert!(r.validate(5).is_ok());
+        assert_eq!(r.validate(6), Err(RegionError::InvalidSlot(6)));
+    }
+
+    #[test]
+    fn inflight_index_overlap_and_removal() {
+        let mut ix = InflightIndex::new();
+        assert!(ix.is_empty());
+        assert_eq!(ix.first_overlap(0, u64::MAX), None);
+
+        ix.insert(0x1000, 0x2000, 7); // [0x1000, 0x3000)
+        ix.insert(0x8000, 0x1000, 8); // [0x8000, 0x9000)
+        ix.insert(0x9000, 0x1000, 8); // replicate dst span, same token
+        assert_eq!(ix.len(), 3);
+
+        assert_eq!(ix.first_overlap(0x2fff, 1), Some(7));
+        assert_eq!(ix.first_overlap(0x3000, 0x1000), None); // half-open
+        assert_eq!(ix.first_overlap(0x0, 0x1001), Some(7));
+        assert_eq!(ix.first_overlap(0x8fff, 0x2000), Some(8));
+        assert_eq!(ix.first_overlap(0x1000, 0), None); // empty span
+
+        ix.remove(8); // drops both of token 8's spans
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.first_overlap(0x8000, 0x2000), None);
+        ix.remove(7);
+        assert!(ix.is_empty());
+
+        // No overflow at the top of the address space.
+        ix.insert(u64::MAX - 1, 10, 9);
+        assert_eq!(ix.first_overlap(u64::MAX, 1), Some(9));
     }
 
     #[test]

@@ -269,6 +269,128 @@ fn aba_churn() {
     );
 }
 
+/// N producers against ONE dequeuer on a single staging queue. Each
+/// producer tags its requests `(producer << 48) | seq` with `seq`
+/// strictly increasing; the queue is MPSC-linearizable, so the dequeuer
+/// must observe every producer's tags in order (per-producer FIFO) even
+/// though the global interleave is arbitrary. Slot counts are conserved:
+/// every slot returns to the free list.
+#[test]
+fn mpsc_per_producer_fifo() {
+    let region = Arc::new(Region::new(64).unwrap());
+    let producers = 4u64;
+    let per_producer = 10_000u64;
+    let total = producers * per_producer;
+
+    crossbeam::scope(|s| {
+        for p in 0..producers {
+            let region = Arc::clone(&region);
+            s.spawn(move |_| {
+                for seq in 0..per_producer {
+                    let slot = loop {
+                        match region.alloc_slot() {
+                            Ok(s) => break s,
+                            Err(_) => std::hint::spin_loop(),
+                        }
+                    };
+                    region
+                        .enqueue(QueueId::Staging, slot, &req(p << 48 | seq))
+                        .unwrap();
+                }
+            });
+        }
+        // The single dequeuer: checks per-producer order as it drains.
+        let region = Arc::clone(&region);
+        s.spawn(move |_| {
+            let mut next_seq = vec![0u64; producers as usize];
+            let mut drained = 0u64;
+            while drained < total {
+                match region.dequeue(QueueId::Staging).unwrap() {
+                    Some(d) => {
+                        let p = (d.req.id >> 48) as usize;
+                        let seq = d.req.id & 0xffff_ffff_ffff;
+                        assert_eq!(
+                            seq, next_seq[p],
+                            "producer {p} reordered: got seq {seq}, expected {}",
+                            next_seq[p]
+                        );
+                        next_seq[p] += 1;
+                        region.free_slot(d.slot).unwrap();
+                        drained += 1;
+                    }
+                    None => std::hint::spin_loop(),
+                }
+            }
+            for (p, n) in next_seq.iter().enumerate() {
+                assert_eq!(*n, per_producer, "producer {p} short-counted");
+            }
+        });
+    })
+    .unwrap();
+    assert_eq!(
+        region.stats().free,
+        64,
+        "every slot returned to the free list"
+    );
+}
+
+/// The sharded variant: producers are pinned to shards (as region-affine
+/// routing pins requests), one dequeuer round-robins the shards. FIFO
+/// must hold per producer because each producer's traffic stays on its
+/// shard; slots are shared across shards through the one free list.
+#[test]
+fn sharded_mpsc_per_producer_fifo() {
+    let shards = 2usize;
+    let region = Arc::new(Region::new_sharded(32, shards).unwrap());
+    let producers = 4u64;
+    let per_producer = 5_000u64;
+    let total = producers * per_producer;
+
+    crossbeam::scope(|s| {
+        for p in 0..producers {
+            let region = Arc::clone(&region);
+            s.spawn(move |_| {
+                let shard = p as usize % shards;
+                for seq in 0..per_producer {
+                    let slot = loop {
+                        match region.alloc_slot() {
+                            Ok(s) => break s,
+                            Err(_) => std::hint::spin_loop(),
+                        }
+                    };
+                    region
+                        .enqueue_sharded(QueueId::Staging, shard, slot, &req(p << 48 | seq))
+                        .unwrap();
+                }
+            });
+        }
+        let region = Arc::clone(&region);
+        s.spawn(move |_| {
+            let mut next_seq = vec![0u64; producers as usize];
+            let mut drained = 0u64;
+            let mut shard = 0usize;
+            while drained < total {
+                match region.dequeue_sharded(QueueId::Staging, shard).unwrap() {
+                    Some(d) => {
+                        let p = (d.req.id >> 48) as usize;
+                        let seq = d.req.id & 0xffff_ffff_ffff;
+                        assert_eq!(seq, next_seq[p], "producer {p} reordered on shard {shard}");
+                        next_seq[p] += 1;
+                        region.free_slot(d.slot).unwrap();
+                        drained += 1;
+                    }
+                    None => {
+                        shard = (shard + 1) % shards;
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        });
+    })
+    .unwrap();
+    assert_eq!(region.stats().free, 32);
+}
+
 /// Concurrent set_color vs enqueue: the red-blue entanglement must never
 /// let a color change land on a non-empty queue, and every element must
 /// carry the color current at its enqueue.
