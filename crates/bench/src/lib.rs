@@ -12,6 +12,9 @@
 //! | `tab3_sloc`       | Table 3 analogue: source-line inventory |
 //! | `ablation`        | A1–A4: descriptor reuse, gang lookup, race mode, poll threshold |
 //! | `e10_degraded`    | E10: throughput under injected DMA faults (degraded mode) |
+//! | `e12_batching`    | E12: request batching + segment coalescing on the issue path |
+//! | `e13_issue_scaling` | E13: aggregate move rate vs issue shards |
+//! | `e14_policy`      | E14: hot/cold placement — none vs sync vs async daemon |
 //!
 //! Criterion micro-benches (`cargo bench`) cover the real data
 //! structures: the red–blue queue, gang lookup, DMA configuration, and

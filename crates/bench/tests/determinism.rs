@@ -10,6 +10,7 @@ use memif::{FaultPlan, MemifConfig};
 use memif_bench::{stream_memif, stream_memif_logged};
 use memif_hwsim::CostModel;
 use memif_mm::PageSize;
+use memif_policy::{run_scenario, Mode, PolicyStats, ScenarioConfig};
 use memif_workloads::ShapeKind;
 use proptest::prelude::*;
 
@@ -61,6 +62,69 @@ proptest! {
         prop_assert_eq!(&a.events, &b.events, "event logs diverged");
         prop_assert_eq!(&a.statuses, &b.statuses, "terminal statuses diverged");
         prop_assert!(!a.events.is_empty(), "event log must record the run");
+    }
+}
+
+fn policy_config(mode: Mode, schedule_seed: u64, faults: Option<FaultPlan>) -> ScenarioConfig {
+    ScenarioConfig {
+        mode,
+        seed: schedule_seed,
+        phases: 3,
+        ticks_per_phase: 16,
+        faults,
+        log_events: true,
+        ..ScenarioConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The policy daemon's epoch loop is deterministic: identical
+    /// schedule seeds and fault plans replay to byte-identical event
+    /// logs, policy counters, and wall clocks — in both placement
+    /// regimes and under chaos.
+    #[test]
+    fn policy_same_seed_same_event_log(
+        schedule_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        error_ppm in 0u32..50_000,
+        drop_ppm in 0u32..10_000,
+        sync_sel in 0u32..2,
+    ) {
+        let mode = if sync_sel == 1 { Mode::Sync } else { Mode::Async };
+        let plan = chaos_plan(fault_seed, f64::from(error_ppm) * 1e-6, f64::from(drop_ppm) * 1e-6, 0.0);
+        let cfg = policy_config(mode, schedule_seed, Some(plan));
+        let cost = CostModel::keystone_ii();
+        let a = run_scenario(&cost, &cfg);
+        let b = run_scenario(&cost, &cfg);
+        prop_assert_eq!(&a.events, &b.events, "policy event logs diverged");
+        prop_assert_eq!(&a.statuses, &b.statuses, "policy terminal statuses diverged");
+        prop_assert_eq!(a.policy, b.policy, "policy counters diverged");
+        prop_assert_eq!(a.wall, b.wall, "wall clocks diverged");
+        prop_assert!(!a.events.is_empty(), "event log must record the run");
+    }
+}
+
+/// Policy off ([`Mode::None`]) leaves the simulated system exactly as
+/// it was before the policy subsystem existed: no memif device is
+/// opened, no driver events reach the log (only the application's own
+/// hook ticks), and every policy counter stays zero. Together with
+/// `golden_single_tc_figures` this pins that the disabled-by-default
+/// daemon cannot perturb seed behaviour.
+#[test]
+fn policy_off_adds_no_driver_events() {
+    let cost = CostModel::keystone_ii();
+    let r = run_scenario(&cost, &policy_config(Mode::None, 42, None));
+    assert_eq!(r.policy, PolicyStats::default());
+    assert_eq!(r.driver, memif::DriverStats::default());
+    assert!(r.statuses.is_empty());
+    assert!(!r.events.is_empty());
+    for e in &r.events {
+        assert!(
+            e.contains("\"type\":\"hook\""),
+            "policy-off run logged a non-hook event: {e}"
+        );
     }
 }
 

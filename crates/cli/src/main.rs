@@ -9,7 +9,12 @@
 //!                   [--delay-rate R] [--desc-exhaust-rate R] [--max-retries N]
 //!                   [--no-fallback true] [--tc-count N] [--trace-events PATH]
 //!                   [--batch-max N] [--no-coalesce true] [--issue-shards S]
-//! memifctl stats    [same flags as move]
+//! memifctl stats    [same flags as move] [--json true]
+//! memifctl policy   [--mode none|sync|async] [--regions 24] [--pages 64]
+//!                   [--phases 6] [--hot 8] [--carry 3] [--ticks 32]
+//!                   [--epoch-us 1000] [--max-inflight 4] [--seed 42]
+//!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
+//!                   [--trace-events PATH] [--json true]
 //! memifctl replay   --from PATH
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
 //!                   [--input-mib 64]
@@ -23,6 +28,7 @@ use memif::{Context, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System
 use memif_baseline::{run_migspeed, MigspeedConfig};
 use memif_bench::{stream_memif_with_faults, Table};
 use memif_hwsim::{CostModel, Topology};
+use memif_policy::{run_scenario, Mode, PolicyConfig, ScenarioConfig};
 use memif_runtime::{Placement, StreamConfig, StreamRuntime};
 use memif_workloads::{stream_add, stream_triad, streamcluster_pgain, wordcount_like, ShapeKind};
 
@@ -36,6 +42,7 @@ fn main() {
         Some("migspeed") => migspeed(&args),
         Some("move") => do_move(&args),
         Some("stats") => stats(&args),
+        Some("policy") => policy(&args),
         Some("replay") => replay(&args),
         Some("stream") => stream(&args),
         Some("timeline") => timeline(&args),
@@ -58,6 +65,7 @@ commands:
   migspeed   Linux page-migration throughput (the numactl utility)
   move       stream memif move requests and report throughput/latency
   stats      run a move scenario and dump the full driver counter set
+  policy     run the hot/cold placement daemon over a phased workload
   replay     re-run a recorded trace and verify it is bit-identical
   stream     run a Table 4 streaming workload on the mini runtime
   timeline   trace a short run across the driver's execution contexts
@@ -91,12 +99,30 @@ order on one shard while disjoint tenants issue in parallel; a
 device-wide in-flight index still serializes the rare cross-shard
 overlap (`cross_shard_deferred` in `memifctl stats`).
 
-event traces (move): --trace-events <path> records the run's typed
-event log as JSON lines (one `#!` header, one `#=` terminal-status line
-per request). `memifctl replay --from <path>` re-runs the scenario from
-the header and verifies every event and terminal status byte-for-byte:
+placement policy (policy): a kernel-style daemon samples PTE accessed
+bits each --epoch-us, tracks exponentially-decayed per-region heat, and
+repairs placement with demote-before-promote moves capped by
+--max-inflight, all under the fast node's capacity watermark. --mode
+selects how its moves execute: `async` (default) rides the blue
+background queue while the app keeps computing; `sync` parks the app
+whenever a move is outstanding (the mbind-style comparator); `none`
+disables moves entirely. The phased workload is shaped by --regions,
+--pages, --phases, --hot, --carry, --ticks, and --seed; chaos flags
+apply as in move. `cargo run --bin e14_policy` compares all three.
+
+machine-readable stats (stats/policy): --json true prints the run's
+counters as a single stable-key JSON object instead of a table, for
+scripting and CI assertions.
+
+event traces (move/policy): --trace-events <path> records the run's
+typed event log as JSON lines (one `#!` header, one `#=`
+terminal-status line per request). `memifctl replay --from <path>`
+re-runs the scenario from the header and verifies every event and
+terminal status byte-for-byte:
   memifctl move --fault-seed 7 --dma-error-rate 1e-3 --trace-events t.jsonl
   memifctl replay --from t.jsonl
+Policy traces replay the same way, including the daemon's epoch hooks
+and every policy move's terminal status.
 
 run `memifctl <command>` with defaults to see each report.
 ";
@@ -369,10 +395,19 @@ fn do_move(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders `(key, value)` counter pairs as one stable-order JSON
+/// object — the `--json true` output contract for scripts and CI.
+fn json_object(rows: &[(&str, u64)]) -> String {
+    let fields: Vec<String> = rows.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", fields.join(","))
+}
+
 /// Runs a `move` scenario and dumps every [`memif::DriverStats`]
-/// counter, including the batching/coalescing set, as a table.
+/// counter, including the batching/coalescing set, as a table (or as
+/// one JSON object with `--json true`).
 fn stats(args: &Args) -> Result<(), String> {
     let s = move_scenario(args)?;
+    let json = args.get_or("json", false)?;
     let title = format!(
         "driver stats: {} x {} {} pages ({:?}), batch-max {}{}",
         s.count,
@@ -393,7 +428,10 @@ fn stats(args: &Args) -> Result<(), String> {
         s.plan,
     );
     let st = &r.stats;
-    let mut table = Table::new(title, &["counter", "value"]);
+    let issue_cpu = {
+        use memif::Phase;
+        st.phases.get(Phase::DmaConfig) + st.phases.get(Phase::Interface)
+    };
     let rows: &[(&str, u64)] = &[
         ("submitted", st.submitted),
         ("completed", st.completed),
@@ -415,15 +453,174 @@ fn stats(args: &Args) -> Result<(), String> {
         ("descriptor_writes_saved", st.descriptor_writes_saved),
         ("requests_deferred", st.requests_deferred),
         ("cross_shard_deferred", st.cross_shard_deferred),
+        ("issue_cpu_ns", issue_cpu.as_ns()),
     ];
-    for (name, value) in rows {
+    if json {
+        println!("{}", json_object(rows));
+        return Ok(());
+    }
+    let mut table = Table::new(title, &["counter", "value"]);
+    for (name, value) in &rows[..rows.len() - 1] {
         table.row(&[(*name).to_owned(), value.to_string()]);
     }
     table.print();
-    println!("issue-side cpu (DmaConfig + Interface): {}", {
-        use memif::Phase;
-        st.phases.get(Phase::DmaConfig) + st.phases.get(Phase::Interface)
-    });
+    println!("issue-side cpu (DmaConfig + Interface): {issue_cpu}");
+    Ok(())
+}
+
+/// Resolves a `policy` command line (or a replayed `#! policy` header)
+/// into a cost profile plus a [`ScenarioConfig`].
+fn policy_scenario(args: &Args) -> Result<(CostModel, ScenarioConfig), String> {
+    let cost = cost_profile(args)?;
+    let mode = match args.get("mode") {
+        None => Mode::Async,
+        Some(m) => {
+            Mode::parse(m).ok_or_else(|| format!("--mode: unknown mode '{m}' (none|sync|async)"))?
+        }
+    };
+    let policy = PolicyConfig {
+        epoch: memif::SimDuration::from_us(args.get_or("epoch-us", 1_000u64)?),
+        max_inflight: args.get_or("max-inflight", 4usize)?,
+        ..PolicyConfig::default()
+    };
+    let plan = memif::FaultPlan {
+        seed: args.get_or("fault-seed", 0u64)?,
+        dma_error_rate: args.get_or("dma-error-rate", 0.0f64)?,
+        drop_rate: args.get_or("drop-rate", 0.0f64)?,
+        delay_rate: args.get_or("delay-rate", 0.0f64)?,
+        desc_exhaust_rate: args.get_or("desc-exhaust-rate", 0.0f64)?,
+        ..memif::FaultPlan::default()
+    };
+    let cfg = ScenarioConfig {
+        mode,
+        seed: args.get_or("seed", 42u64)?,
+        regions: args.get_or("regions", 24usize)?,
+        pages_per_region: args.get_or("pages", 64u32)?,
+        page_size: args.page_size(PageSize::Small4K)?,
+        phases: args.get_or("phases", 6usize)?,
+        hot: args.get_or("hot", 8usize)?,
+        carry: args.get_or("carry", 3usize)?,
+        ticks_per_phase: args.get_or("ticks", 32u32)?,
+        policy,
+        faults: (!plan.is_noop()).then_some(plan),
+        ..ScenarioConfig::default()
+    };
+    Ok((cost, cfg))
+}
+
+/// The `#!` header of a policy trace: every flag replay needs to
+/// rebuild the run.
+fn policy_trace_header(args: &Args, cfg: &ScenarioConfig) -> String {
+    let plan = cfg.faults.clone().unwrap_or_default();
+    format!(
+        "#! policy mode={} seed={} regions={} pages={} page-size={} phases={} hot={} carry={} \
+         ticks={} epoch-us={} max-inflight={} profile={} fault-seed={} dma-error-rate={} \
+         drop-rate={} delay-rate={} desc-exhaust-rate={}",
+        cfg.mode.as_str(),
+        cfg.seed,
+        cfg.regions,
+        cfg.pages_per_region,
+        match cfg.page_size {
+            PageSize::Small4K => "4k",
+            PageSize::Medium64K => "64k",
+            PageSize::Large2M => "2m",
+        },
+        cfg.phases,
+        cfg.hot,
+        cfg.carry,
+        cfg.ticks_per_phase,
+        cfg.policy.epoch.as_ns() / 1_000,
+        cfg.policy.max_inflight,
+        args.get("profile").unwrap_or("keystone"),
+        plan.seed,
+        plan.dma_error_rate,
+        plan.drop_rate,
+        plan.delay_rate,
+        plan.desc_exhaust_rate,
+    )
+}
+
+/// Runs the hot/cold placement daemon over the phased hot-set workload
+/// and reports the application + daemon outcome.
+fn policy(args: &Args) -> Result<(), String> {
+    let (cost, mut cfg) = policy_scenario(args)?;
+    let trace_path = args.get("trace-events");
+    cfg.log_events = trace_path.is_some();
+    let r = run_scenario(&cost, &cfg);
+
+    if let Some(path) = trace_path {
+        let mut out = String::new();
+        out.push_str(&policy_trace_header(args, &cfg));
+        out.push('\n');
+        for line in &r.events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for (req, status) in &r.statuses {
+            out.push_str(&format!("#= {req} {status}\n"));
+        }
+        std::fs::write(path, out).map_err(|e| format!("--trace-events: {path}: {e}"))?;
+        println!(
+            "trace: {} events + {} terminal statuses -> {path}",
+            r.events.len(),
+            r.statuses.len()
+        );
+    }
+
+    let p = &r.policy;
+    if args.get_or("json", false)? {
+        println!(
+            "{}",
+            json_object(&[
+                ("wall_ns", r.wall.as_ns()),
+                ("ticks", r.ticks),
+                ("fast_ticks", r.fast_ticks),
+                ("slow_ticks", r.slow_ticks),
+                ("page_touches", r.page_touches),
+                ("epochs", p.epochs),
+                ("pages_scanned", p.pages_scanned),
+                ("pages_referenced", p.pages_referenced),
+                ("promotions", p.promotions),
+                ("demotions", p.demotions),
+                ("moves_ok", p.moves_ok),
+                ("moves_failed", p.moves_failed),
+                ("dropped", p.dropped),
+                ("driver_submitted", r.driver.submitted),
+                ("driver_completed", r.driver.completed),
+                ("driver_failed", r.driver.failed),
+                ("driver_bytes_moved", r.driver.bytes_moved),
+            ])
+        );
+        return Ok(());
+    }
+    println!(
+        "{} mode: {} ticks ({} fast / {} slow) in {:.2} ms, cpu {:.2} cores",
+        cfg.mode.as_str(),
+        r.ticks,
+        r.fast_ticks,
+        r.slow_ticks,
+        r.wall.as_ns() as f64 / 1e6,
+        r.cpu_usage,
+    );
+    println!(
+        "policy: {} epochs, {} pages scanned ({} referenced), {} promotions + {} demotions \
+         ({} ok, {} failed, {} dropped at the watermark)",
+        p.epochs,
+        p.pages_scanned,
+        p.pages_referenced,
+        p.promotions,
+        p.demotions,
+        p.moves_ok,
+        p.moves_failed,
+        p.dropped,
+    );
+    println!(
+        "driver: {} submitted, {} completed, {} failed, {} MiB moved",
+        r.driver.submitted,
+        r.driver.completed,
+        r.driver.failed,
+        r.driver.bytes_moved >> 20,
+    );
     Ok(())
 }
 
@@ -453,9 +650,6 @@ fn replay(args: &Args) -> Result<(), String> {
     }
     let header = header.ok_or("trace has no '#!' header line")?;
     let (cmd, flags) = header.split_once(' ').unwrap_or((header.as_str(), ""));
-    if cmd != "move" {
-        return Err(format!("cannot replay '{cmd}' traces"));
-    }
     let pairs: Vec<(String, String)> = flags
         .split_whitespace()
         .map(|kv| {
@@ -464,28 +658,43 @@ fn replay(args: &Args) -> Result<(), String> {
                 .ok_or_else(|| format!("malformed header token '{kv}'"))
         })
         .collect::<Result<_, _>>()?;
-    // The issue-shard count shapes the event stream (shard-tagged
-    // worker events, per-shard queue layout): a replay forced onto a
-    // different count can never match, so reject the mismatch up front
+    // Flags that shape the event stream (shard-tagged worker events,
+    // the daemon's placement decisions) can never match when forced to
+    // a different value than recorded: reject the mismatch up front
     // instead of reporting a divergence at record 0.
-    if let Some(requested) = args.get("issue-shards") {
-        let recorded = pairs
-            .iter()
-            .find(|(k, _)| k == "issue-shards")
-            .map_or("1", |(_, v)| v.as_str());
-        if requested != recorded {
-            return Err(format!(
-                "--issue-shards {requested} conflicts with the trace (recorded with \
-                 issue-shards={recorded}); replay re-runs the recorded configuration"
-            ));
+    let reject_override = |flag: &str, default: &str| -> Result<(), String> {
+        if let Some(requested) = args.get(flag) {
+            let recorded = pairs
+                .iter()
+                .find(|(k, _)| k == flag)
+                .map_or(default, |(_, v)| v.as_str());
+            if requested != recorded {
+                return Err(format!(
+                    "--{flag} {requested} conflicts with the trace (recorded with \
+                     {flag}={recorded}); replay re-runs the recorded configuration"
+                ));
+            }
         }
-    }
-    let scenario = move_scenario(&Args::from_pairs("move", pairs))?;
-
-    let logged = run_logged(&scenario);
-    if logged.events != events {
-        let n = logged
-            .events
+        Ok(())
+    };
+    let (replayed_events, replayed_statuses) = match cmd {
+        "move" => {
+            reject_override("issue-shards", "1")?;
+            let scenario = move_scenario(&Args::from_pairs("move", pairs))?;
+            let logged = run_logged(&scenario);
+            (logged.events, logged.statuses)
+        }
+        "policy" => {
+            reject_override("mode", "async")?;
+            let (cost, mut cfg) = policy_scenario(&Args::from_pairs("policy", pairs))?;
+            cfg.log_events = true;
+            let r = run_scenario(&cost, &cfg);
+            (r.events, r.statuses)
+        }
+        other => return Err(format!("cannot replay '{other}' traces")),
+    };
+    if replayed_events != events {
+        let n = replayed_events
             .iter()
             .zip(&events)
             .take_while(|(a, b)| a == b)
@@ -493,13 +702,14 @@ fn replay(args: &Args) -> Result<(), String> {
         return Err(format!(
             "event log diverges at record {n}:\n  recorded: {}\n  replayed: {}",
             events.get(n).map_or("<end of log>", String::as_str),
-            logged.events.get(n).map_or("<end of log>", String::as_str),
+            replayed_events
+                .get(n)
+                .map_or("<end of log>", String::as_str),
         ));
     }
-    if logged.statuses != statuses {
+    if replayed_statuses != statuses {
         return Err(format!(
-            "terminal statuses diverge:\n  recorded: {statuses:?}\n  replayed: {:?}",
-            logged.statuses
+            "terminal statuses diverge:\n  recorded: {statuses:?}\n  replayed: {replayed_statuses:?}"
         ));
     }
     println!(

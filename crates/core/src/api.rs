@@ -224,6 +224,87 @@ impl Memif {
         sim: &mut Sim<System>,
         spec: MoveSpec,
     ) -> Result<(ReqId, SimDuration), MemifError> {
+        let (id, shard, color) = self.stage(sys, sim, spec)?;
+        let mut cpu = sys.cost.queue_op;
+
+        if color == Color::Blue {
+            // This thread is the flusher (§4.4 pseudo-code) — for its
+            // own shard only; each shard runs the color protocol
+            // independently.
+            loop {
+                // flush: staging -> submission
+                while let Some(d) = dev(sys, self.device)
+                    .region
+                    .dequeue_sharded(QueueId::Staging, shard)?
+                {
+                    dev(sys, self.device).region.enqueue_sharded(
+                        QueueId::Submission,
+                        shard,
+                        d.slot,
+                        &d.req,
+                    )?;
+                    cpu += sys.cost.queue_op * 2;
+                }
+                match dev(sys, self.device).region.set_color_sharded(
+                    QueueId::Staging,
+                    shard,
+                    Color::Red,
+                ) {
+                    Err(_) => continue,      // queue refilled: re-flush
+                    Ok(Color::Red) => break, // another thread already kicked
+                    Ok(Color::Blue) => {
+                        cpu += driver::syscall::mov_one(sys, sim, self.device, shard);
+                        break;
+                    }
+                }
+            }
+        }
+        sys.meter.charge(Context::App, sys.cost.queue_op);
+        Ok((ReqId(id), cpu))
+    }
+
+    /// Low-priority submission for in-kernel producers (the
+    /// `memif-policy` placement daemon): the request is staged on the
+    /// shard's **blue** queue and the shard's kernel worker is kicked —
+    /// no user/kernel crossing, no flush race with applications. An
+    /// already-running worker treats the kick as a no-op and drains the
+    /// staging queue on its normal rounds, so background work never
+    /// preempts application submissions; at worst it waits for the
+    /// worker's next idle round.
+    ///
+    /// Returns the request id and the (kernel-thread) CPU time consumed.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_background(
+        &self,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        spec: MoveSpec,
+    ) -> Result<(ReqId, SimDuration), MemifError> {
+        let (id, shard, _color) = self.stage(sys, sim, spec)?;
+        let cpu = sys.cost.queue_op;
+        sys.meter.charge(Context::KernelThread, cpu);
+        sim.schedule_after(
+            cpu,
+            SimEvent::KthreadRun {
+                device: self.device,
+                shard,
+            },
+        );
+        Ok((ReqId(id), cpu))
+    }
+
+    /// Routes `spec` to its issue shard and stages it (queue color as
+    /// observed by the enqueue). Shared by [`submit`](Self::submit) and
+    /// [`submit_background`](Self::submit_background).
+    fn stage(
+        &self,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        spec: MoveSpec,
+    ) -> Result<(u64, usize, Color), MemifError> {
         let shards = sys
             .device(self.device)
             .ok_or(MemifError::NoSuchDevice)?
@@ -266,47 +347,11 @@ impl Memif {
             status: MoveStatus::Pending,
             user_data: spec.user_data,
         };
-
-        let mut cpu = sys.cost.queue_op;
         let color =
             dev(sys, self.device)
                 .region
                 .enqueue_sharded(QueueId::Staging, shard, slot, &req)?;
-
-        if color == Color::Blue {
-            // This thread is the flusher (§4.4 pseudo-code) — for its
-            // own shard only; each shard runs the color protocol
-            // independently.
-            loop {
-                // flush: staging -> submission
-                while let Some(d) = dev(sys, self.device)
-                    .region
-                    .dequeue_sharded(QueueId::Staging, shard)?
-                {
-                    dev(sys, self.device).region.enqueue_sharded(
-                        QueueId::Submission,
-                        shard,
-                        d.slot,
-                        &d.req,
-                    )?;
-                    cpu += sys.cost.queue_op * 2;
-                }
-                match dev(sys, self.device).region.set_color_sharded(
-                    QueueId::Staging,
-                    shard,
-                    Color::Red,
-                ) {
-                    Err(_) => continue,      // queue refilled: re-flush
-                    Ok(Color::Red) => break, // another thread already kicked
-                    Ok(Color::Blue) => {
-                        cpu += driver::syscall::mov_one(sys, sim, self.device, shard);
-                        break;
-                    }
-                }
-            }
-        }
-        sys.meter.charge(Context::App, sys.cost.queue_op);
-        Ok((ReqId(id), cpu))
+        Ok((id, shard, color))
     }
 
     /// `RetrieveCompleted`: takes one completion notification, failure

@@ -50,7 +50,7 @@ impl CompletionRecord {
 }
 
 /// Driver activity counters for one device.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DriverStats {
     /// Requests submitted by the application.
     pub submitted: u64,
@@ -207,6 +207,12 @@ pub(crate) struct IssueShard {
     /// This shard's worker CPU is occupied until this instant (a worker
     /// prepares requests one at a time even when transfers overlap).
     pub busy_until: SimTime,
+    /// Instant of the last wakeup counted in `stats.kthread_wakeups`.
+    /// Several `KthreadRun` events can land on one shard at the same
+    /// instant (a retire wake colliding with a peer wake); on real
+    /// hardware `wake_up()` on an already-running thread is a no-op, so
+    /// the counter must record one wakeup per instant, not per event.
+    pub last_counted_wakeup: Option<SimTime>,
 }
 
 /// An open memif device.

@@ -77,7 +77,16 @@ fn run_round(
         return;
     }
     if count_wakeup {
-        dev_mut(sys, id).stats.kthread_wakeups += 1;
+        // Dedupe same-instant wakeups: when a peer wake (a conflicting
+        // request retiring on another shard) lands at the same instant
+        // as this shard's own wake, both events reach this point if the
+        // first round issued nothing — but a `wake_up()` on an
+        // already-running thread is a no-op, one logical wakeup.
+        let device = dev_mut(sys, id);
+        if device.shards[shard].last_counted_wakeup != Some(sim.now()) {
+            device.shards[shard].last_counted_wakeup = Some(sim.now());
+            device.stats.kthread_wakeups += 1;
+        }
     }
 
     loop {

@@ -237,6 +237,50 @@ fn explicit_single_shard_is_event_identical() {
     );
 }
 
+/// `kthread_wakeups` counts logical wakeups, not wake *events*: two
+/// `KthreadRun` events landing on one shard at the same instant (a
+/// retire wake colliding with a peer wake) are one `wake_up()` of an
+/// already-running thread and must bump the counter once. Wakes at
+/// distinct instants still count separately.
+#[test]
+fn same_instant_wakeups_count_once() {
+    use memif::SimEvent;
+
+    let count_wakeups = |kicks: &[u64]| {
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        // Empty queues: every kick runs a full round that issues
+        // nothing, so no `busy_until` early-out hides the double count.
+        let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+        for &at in kicks {
+            sim.schedule_after(
+                SimDuration::from_ns(at),
+                SimEvent::KthreadRun {
+                    device: memif.device(),
+                    shard: 0,
+                },
+            );
+        }
+        sim.run(&mut sys);
+        let wakeups = sys.device(memif.device()).unwrap().stats.kthread_wakeups;
+        memif.close(&mut sys).unwrap();
+        wakeups
+    };
+
+    assert_eq!(count_wakeups(&[500, 500]), 1, "same instant: one wakeup");
+    assert_eq!(
+        count_wakeups(&[500, 500, 500]),
+        1,
+        "any same-instant pile-up"
+    );
+    assert_eq!(
+        count_wakeups(&[500, 600]),
+        2,
+        "distinct instants both count"
+    );
+}
+
 /// The routing hash `submit` uses (kept in lockstep by the assertions
 /// in [`cross_shard_overlap_defers_and_retires`]).
 fn shard_of(base: u64, shards: usize) -> usize {

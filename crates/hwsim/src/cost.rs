@@ -117,6 +117,18 @@ pub struct CostModel {
     /// Byte threshold below which the kernel thread polls for completion
     /// instead of taking an interrupt (§5.4: 512 KB).
     pub poll_threshold_bytes: u64,
+
+    // ---- Placement-policy sampling (memif-policy) ----
+    /// Fixed overhead of one policy sampling epoch: the daemon's wakeup,
+    /// its capacity probe, and the plan/issue bookkeeping around the
+    /// per-page work below.
+    pub policy_epoch_base: SimDuration,
+    /// Scanning one PTE's reference state and conditionally re-arming it
+    /// (a table read plus an occasional CAS; cheaper than a full
+    /// `pte_cas` because most entries need no write-back).
+    pub policy_scan_pte: SimDuration,
+    /// Decaying and updating one tracked region's heat accumulator.
+    pub policy_heat_update: SimDuration,
 }
 
 impl CostModel {
@@ -155,6 +167,9 @@ impl CostModel {
             kthread_wakeup: SimDuration::from_ns(2_000),
             queue_op: SimDuration::from_ns(80),
             poll_threshold_bytes: 512 * 1024,
+            policy_epoch_base: SimDuration::from_ns(4_000),
+            policy_scan_pte: SimDuration::from_ns(90),
+            policy_heat_update: SimDuration::from_ns(60),
         }
     }
 

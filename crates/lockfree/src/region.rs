@@ -693,6 +693,64 @@ mod tests {
         assert_eq!(ix.first_overlap(u64::MAX, 1), Some(9));
     }
 
+    /// Adjacent (touching, non-overlapping) spans must never report a
+    /// conflict: the intervals are half-open on both sides of the query.
+    #[test]
+    fn inflight_index_adjacent_spans_do_not_conflict() {
+        let mut ix = InflightIndex::new();
+        ix.insert(0x4000, 0x1000, 1); // [0x4000, 0x5000)
+        ix.insert(0x5000, 0x1000, 2); // [0x5000, 0x6000) — touches token 1
+
+        // The spans touch each other without overlapping: both insert
+        // fine and each is found only by queries inside its own range.
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.first_overlap(0x4fff, 1), Some(1));
+        assert_eq!(ix.first_overlap(0x5000, 1), Some(2));
+
+        // A query ending exactly where a span begins, or beginning
+        // exactly where a span ends, does not touch it.
+        assert_eq!(ix.first_overlap(0x3000, 0x1000), None); // ends at token 1's base
+        assert_eq!(ix.first_overlap(0x6000, 0x1000), None); // begins at token 2's end
+                                                            // A query spanning the shared boundary sees the older span first.
+        assert_eq!(ix.first_overlap(0x4fff, 2), Some(1));
+        ix.remove(1);
+        assert_eq!(ix.first_overlap(0x4000, 0x1000), None); // ends exactly at 0x5000
+                                                            // One byte over either edge of the surviving span does conflict.
+        assert_eq!(ix.first_overlap(0x4000, 0x1001), Some(2));
+        assert_eq!(ix.first_overlap(0x5fff, 0x1000), Some(2));
+    }
+
+    /// The overlap test runs in u128: spans and queries whose `base +
+    /// len` exceeds `u64::MAX` must neither wrap nor panic.
+    #[test]
+    fn inflight_index_max_address_arithmetic() {
+        let mut ix = InflightIndex::new();
+
+        // A span ending exactly at the top of the address space
+        // (base + len == 2^64, representable only in u128).
+        ix.insert(u64::MAX - 0xfff, 0x1000, 3);
+        assert_eq!(ix.first_overlap(u64::MAX, 1), Some(3));
+        assert_eq!(ix.first_overlap(u64::MAX - 0x1000, 1), None);
+        // A query that also runs to the top overlaps it.
+        assert_eq!(ix.first_overlap(u64::MAX - 0x1fff, 0x2000), Some(3));
+        // ...but one ending exactly at the span's base does not.
+        assert_eq!(ix.first_overlap(u64::MAX - 0x1fff, 0x1000), None);
+
+        // A maximal query (the whole address space) against a maximal
+        // span: base + len overflows u64 on both sides.
+        ix.remove(3);
+        ix.insert(1, u64::MAX, 4); // [1, 2^64 - 1 + 1) == [1, 2^64)
+        assert_eq!(ix.first_overlap(0, u64::MAX), Some(4));
+        assert_eq!(ix.first_overlap(u64::MAX, u64::MAX), Some(4));
+        assert_eq!(ix.first_overlap(0, 1), None); // [0, 1) stops short
+
+        // Degenerate: zero-length span at u64::MAX is ignored entirely.
+        ix.remove(4);
+        ix.insert(u64::MAX, 0, 5);
+        assert!(ix.is_empty());
+        assert_eq!(ix.first_overlap(u64::MAX, 1), None);
+    }
+
     #[test]
     fn debug_is_nonempty() {
         let r = Region::new(2).unwrap();

@@ -37,5 +37,7 @@ pub use addr::{PageSize, VirtAddr};
 pub use alloc::{AllocError, FrameAllocator, FrameInfo};
 pub use pagetable::{PageTable, TableError, WalkStats};
 pub use pte::Pte;
-pub use space::{AccessKind, AddressSpace, AllocPolicy, Fault, MmError, Populate, Vma};
+pub use space::{
+    AccessKind, AddressSpace, AllocPolicy, Fault, MmError, Populate, ScanOutcome, Vma,
+};
 pub use tlb::{Tlb, TlbStats};

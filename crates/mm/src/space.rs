@@ -210,6 +210,25 @@ pub struct AddressSpace {
     vmas: BTreeMap<u64, Vma>,
     tlb: Tlb,
     next_addr: u64,
+    /// Access sampling (off by default): when enabled, every CPU access
+    /// through [`AddressSpace::access`] bumps a per-frame counter. The
+    /// placement policy's sampling epochs read these alongside the PTE
+    /// reference-bit scan; with sampling off the space behaves (and
+    /// allocates) exactly as before.
+    sampling: bool,
+    access_counts: BTreeMap<u64, u64>,
+}
+
+/// Result of one reference-bit sampling scan
+/// ([`AddressSpace::scan_referenced`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// PTEs whose reference state was inspected (and re-armed).
+    pub scanned: u32,
+    /// Of those, pages referenced since the previous scan.
+    pub referenced: u32,
+    /// Entries skipped: unmapped, non-present, migration, or watched.
+    pub skipped: u32,
 }
 
 impl Default for AddressSpace {
@@ -227,6 +246,8 @@ impl AddressSpace {
             vmas: BTreeMap::new(),
             tlb: Tlb::new(),
             next_addr: 1 << 30,
+            sampling: false,
+            access_counts: BTreeMap::new(),
         }
     }
 
@@ -483,7 +504,79 @@ impl AddressSpace {
             self.table.replace(page, updated).expect("entry just seen");
         }
         self.tlb.access(page, size);
+        if self.sampling {
+            *self.access_counts.entry(pte.frame().as_u64()).or_insert(0) += 1;
+        }
         Ok(pte.frame().offset(vaddr.as_u64() - page.as_u64()))
+    }
+
+    /// Turns on per-frame access counting (see [`ScanOutcome`] for the
+    /// companion reference-bit scan). Idempotent; off by default.
+    pub fn enable_sampling(&mut self) {
+        self.sampling = true;
+    }
+
+    /// True when per-frame access counting is on.
+    #[must_use]
+    pub fn sampling_enabled(&self) -> bool {
+        self.sampling
+    }
+
+    /// Accesses counted against `frame` since sampling was enabled (or
+    /// since [`AddressSpace::take_access_counts`] last drained them).
+    #[must_use]
+    pub fn access_count(&self, frame: PhysAddr) -> u64 {
+        self.access_counts
+            .get(&frame.as_u64())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Drains the per-frame access counters, returning them keyed by
+    /// frame base address (deterministic order).
+    pub fn take_access_counts(&mut self) -> BTreeMap<u64, u64> {
+        std::mem::take(&mut self.access_counts)
+    }
+
+    /// One sampling epoch's reference-bit scan over `[start, start +
+    /// pages * page_size)`: inspects each mapped page's young bit and
+    /// re-arms it. In this machine's model a CPU reference *clears*
+    /// young (§5.2), so a cleared bit means the page was touched since
+    /// the previous scan; re-arming sets it back so the next epoch
+    /// observes a fresh interval.
+    ///
+    /// Pages that are unmapped, non-present, under a migration entry, or
+    /// write-watched are skipped (counted in
+    /// [`ScanOutcome::skipped`]). Callers must not scan ranges covered
+    /// by an *in-flight* move: re-arming young on a semi-final entry
+    /// would mask the race check Release performs (the policy daemon
+    /// therefore skips regions with moves outstanding).
+    pub fn scan_referenced(
+        &mut self,
+        start: VirtAddr,
+        pages: u32,
+        page_size: PageSize,
+    ) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
+        for i in 0..u64::from(pages) {
+            let va = start.offset(i * page_size.bytes());
+            let Some(pte) = self.table.peek(va, page_size) else {
+                out.skipped += 1;
+                continue;
+            };
+            if !pte.is_present() || pte.is_migration() || pte.is_watched() {
+                out.skipped += 1;
+                continue;
+            }
+            out.scanned += 1;
+            if !pte.is_young() {
+                out.referenced += 1;
+                self.table
+                    .replace(va, pte.with_young(true))
+                    .expect("entry just seen");
+            }
+        }
+        out
     }
 
     /// Pure translation: no reference-bit side effects, no TLB insert.
@@ -683,6 +776,74 @@ mod tests {
             .peek(va, PageSize::Small4K)
             .unwrap()
             .is_dirty());
+    }
+
+    #[test]
+    fn sampling_counts_per_frame_accesses() {
+        let (mut space, mut alloc, _) = setup();
+        let va = space
+            .mmap_anonymous(&mut alloc, 2, PageSize::Small4K, NodeId(0))
+            .unwrap();
+        let frame0 = space.translate(va).unwrap();
+
+        // Off by default: accesses leave no trace.
+        space.access(va, AccessKind::Read).unwrap();
+        assert!(!space.sampling_enabled());
+        assert_eq!(space.access_count(frame0), 0);
+
+        space.enable_sampling();
+        space.access(va, AccessKind::Read).unwrap();
+        space.access(va.offset(8), AccessKind::Write).unwrap();
+        space.access(va.offset(4096), AccessKind::Read).unwrap();
+        assert_eq!(space.access_count(frame0), 2, "both page-0 accesses");
+
+        let drained = space.take_access_counts();
+        assert_eq!(drained.values().sum::<u64>(), 3);
+        assert_eq!(space.access_count(frame0), 0, "drain resets");
+    }
+
+    #[test]
+    fn scan_referenced_reports_and_rearms() {
+        let (mut space, mut alloc, _) = setup();
+        let va = space
+            .mmap_anonymous(&mut alloc, 4, PageSize::Small4K, NodeId(0))
+            .unwrap();
+
+        // Fresh mappings are young: nothing referenced yet.
+        let first = space.scan_referenced(va, 4, PageSize::Small4K);
+        assert_eq!(
+            first,
+            ScanOutcome {
+                scanned: 4,
+                referenced: 0,
+                skipped: 0
+            }
+        );
+
+        // Touch two pages; the scan sees exactly those and re-arms them.
+        space.access(va, AccessKind::Read).unwrap();
+        space
+            .access(va.offset(2 * 4096), AccessKind::Write)
+            .unwrap();
+        let second = space.scan_referenced(va, 4, PageSize::Small4K);
+        assert_eq!(second.referenced, 2);
+        assert!(
+            space
+                .table()
+                .peek(va, PageSize::Small4K)
+                .unwrap()
+                .is_young(),
+            "scan re-arms the reference bit"
+        );
+
+        // Re-armed and untouched: the next epoch reports quiescence.
+        let third = space.scan_referenced(va, 4, PageSize::Small4K);
+        assert_eq!(third.referenced, 0);
+
+        // Unmapped tail pages are skipped, not scanned.
+        let wide = space.scan_referenced(va, 6, PageSize::Small4K);
+        assert_eq!(wide.scanned, 4);
+        assert_eq!(wide.skipped, 2);
     }
 
     #[test]

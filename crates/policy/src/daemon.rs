@@ -1,0 +1,489 @@
+//! The placement daemon: an epoch loop over the simulation.
+//!
+//! Each epoch the daemon scans its tracked regions' reference bits
+//! ([`memif_mm::AddressSpace::scan_referenced`]), folds the results
+//! into the [`PolicyEngine`]'s decayed heat, asks for a plan, and
+//! issues the moves through [`Memif::submit_background`] — staged on
+//! the blue queue and drained by the kernel workers like any other
+//! request, but with no user/kernel crossing and a bounded in-flight
+//! window so placement repair never crowds out application
+//! submissions. Its own CPU time (wakeup, PTE scans, heat updates) is
+//! priced by the cost model and charged to the kernel-thread context.
+//!
+//! Regions with a move outstanding are neither scanned (re-arming
+//! young on a semi-final PTE would mask the Release race check) nor
+//! re-planned; their heat decays until the completion retires.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use memif::{
+    Context, HookId, Memif, MoveSpec, NodeId, PageSize, Sim, SimDuration, SimEvent, SpaceId,
+    System, VirtAddr,
+};
+use memif_hwsim::MemoryKind;
+
+use crate::engine::PolicyEngine;
+use crate::PolicyConfig;
+
+/// Counters the daemon maintains, surfaced through `memifctl` stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Sampling epochs completed.
+    pub epochs: u64,
+    /// PTEs inspected by reference scans (including skipped entries).
+    pub pages_scanned: u64,
+    /// Pages observed referenced since their previous scan.
+    pub pages_referenced: u64,
+    /// Promotions issued toward the fast node.
+    pub promotions: u64,
+    /// Demotions issued toward the slow node.
+    pub demotions: u64,
+    /// Policy moves that completed successfully.
+    pub moves_ok: u64,
+    /// Policy moves that completed without relocating cleanly (aborted
+    /// by a racing write, failed, or raced); the region stays tracked
+    /// and a later epoch retries.
+    pub moves_failed: u64,
+    /// Planned promotions dropped because the fast node was over its
+    /// watermark (retried once capacity frees).
+    pub dropped: u64,
+}
+
+struct Inner {
+    memif: Memif,
+    space: SpaceId,
+    cfg: PolicyConfig,
+    engine: PolicyEngine,
+    fast: NodeId,
+    slow: NodeId,
+    /// Outstanding policy moves: request id → region base.
+    inflight: HashMap<u64, u64>,
+    stats: PolicyStats,
+    running: bool,
+    epoch_hook: Option<HookId>,
+    drain_hook: Option<HookId>,
+    poll_armed: bool,
+    /// Events parked by [`PolicyDaemon::when_idle`], released when the
+    /// in-flight window drains (the synchronous-migration comparator's
+    /// app gate).
+    on_idle: Vec<SimEvent>,
+}
+
+/// Handle to a launched placement daemon.
+#[derive(Clone)]
+pub struct PolicyDaemon {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for PolicyDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let i = self.inner.borrow();
+        f.debug_struct("PolicyDaemon")
+            .field("running", &i.running)
+            .field("inflight", &i.inflight.len())
+            .field("stats", &i.stats)
+            .finish()
+    }
+}
+
+impl PolicyDaemon {
+    /// Starts the daemon: registers its epoch and completion hooks and
+    /// schedules the first epoch one period out. The daemon assumes it
+    /// owns `memif`'s completion queue — open a dedicated instance for
+    /// it rather than sharing the application's.
+    pub fn launch(
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        memif: Memif,
+        space: SpaceId,
+        cfg: PolicyConfig,
+    ) -> Self {
+        let fast = sys
+            .topo
+            .all_nodes()
+            .iter()
+            .find(|n| n.kind == MemoryKind::Fast)
+            .map_or(NodeId(1), |n| n.id);
+        let slow = sys
+            .topo
+            .all_nodes()
+            .iter()
+            .find(|n| n.kind == MemoryKind::Slow)
+            .map_or(NodeId(0), |n| n.id);
+        let inner = Rc::new(RefCell::new(Inner {
+            memif,
+            space,
+            engine: PolicyEngine::new(&cfg),
+            cfg,
+            fast,
+            slow,
+            inflight: HashMap::new(),
+            stats: PolicyStats::default(),
+            running: true,
+            epoch_hook: None,
+            drain_hook: None,
+            poll_armed: false,
+            on_idle: Vec::new(),
+        }));
+        let epoch_hook = {
+            let inner = Rc::clone(&inner);
+            sys.register_hook(move |sys, sim, arg| Inner::epoch(&inner, sys, sim, arg))
+        };
+        let drain_hook = {
+            let inner = Rc::clone(&inner);
+            sys.register_hook(move |sys, sim, _arg| Inner::drain(&inner, sys, sim))
+        };
+        let epoch = {
+            let mut i = inner.borrow_mut();
+            i.epoch_hook = Some(epoch_hook);
+            i.drain_hook = Some(drain_hook);
+            i.cfg.epoch
+        };
+        sim.schedule_after(
+            epoch,
+            SimEvent::Hook {
+                hook: epoch_hook,
+                arg: 1,
+            },
+        );
+        PolicyDaemon { inner }
+    }
+
+    /// Registers a region for placement; residency is read from the
+    /// current mapping.
+    pub fn track(&self, sys: &System, base: VirtAddr, pages: u32, page_size: PageSize) {
+        let mut i = self.inner.borrow_mut();
+        let fast = i.fast;
+        let resident = resident_fast(sys, i.space, base, fast);
+        i.engine.track(base.as_u64(), pages, page_size, resident);
+    }
+
+    /// Stops the epoch loop: the next scheduled epoch becomes a no-op
+    /// and nothing further is scheduled. Outstanding moves still drain.
+    pub fn stop(&self) {
+        self.inner.borrow_mut().running = false;
+    }
+
+    /// True while any policy move is outstanding.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.inner.borrow().inflight.is_empty()
+    }
+
+    /// Runs `event` once the in-flight window drains — immediately if
+    /// the daemon is already idle. The synchronous-migration comparator
+    /// parks the application's next tick here.
+    pub fn when_idle(&self, sim: &mut Sim<System>, event: SimEvent) {
+        let mut i = self.inner.borrow_mut();
+        if i.inflight.is_empty() {
+            sim.schedule_after(SimDuration::from_ns(0), event);
+        } else {
+            i.on_idle.push(event);
+        }
+    }
+
+    /// A snapshot of the daemon's counters.
+    #[must_use]
+    pub fn stats(&self) -> PolicyStats {
+        self.inner.borrow().stats
+    }
+
+    /// True while `base` is on the fast node according to the engine's
+    /// bookkeeping.
+    #[must_use]
+    pub fn is_resident_fast(&self, base: VirtAddr) -> bool {
+        self.inner
+            .borrow()
+            .engine
+            .region(base.as_u64())
+            .is_some_and(|r| r.resident_fast)
+    }
+}
+
+/// Whether `base`'s first page currently maps to the fast node.
+fn resident_fast(sys: &System, space: SpaceId, base: VirtAddr, fast: NodeId) -> bool {
+    sys.space(space)
+        .translate(base)
+        .and_then(|pa| sys.node_of(pa))
+        == Some(fast)
+}
+
+impl Inner {
+    /// One sampling epoch: scan, fold, plan, issue, reschedule.
+    fn epoch(inner: &Rc<RefCell<Inner>>, sys: &mut System, sim: &mut Sim<System>, arg: u64) {
+        let (space, regions, period) = {
+            let i = inner.borrow();
+            if !i.running {
+                return; // stopped: no reschedule, the loop quiesces
+            }
+            let regions: Vec<(u64, u32, PageSize, bool)> = i
+                .engine
+                .regions()
+                .map(|r| (r.base, r.pages, r.page_size, r.inflight))
+                .collect();
+            (i.space, regions, i.cfg.epoch)
+        };
+
+        // Scan outside the borrow (scans mutate the address space, not
+        // the daemon), then fold results in.
+        let mut scans: Vec<(u64, Option<u32>)> = Vec::with_capacity(regions.len());
+        let mut pte_work = 0u64;
+        for &(base, pages, page_size, inflight) in &regions {
+            if inflight {
+                scans.push((base, None)); // decay only; see module docs
+            } else {
+                let out =
+                    sys.space_mut(space)
+                        .scan_referenced(VirtAddr::new(base), pages, page_size);
+                pte_work += u64::from(out.scanned) + u64::from(out.skipped);
+                scans.push((base, Some(out.referenced)));
+            }
+        }
+
+        let mut i = inner.borrow_mut();
+        i.stats.epochs += 1;
+        i.stats.pages_scanned += pte_work;
+        for &(base, referenced) in &scans {
+            match referenced {
+                Some(n) => {
+                    i.stats.pages_referenced += u64::from(n);
+                    i.engine.observe(base, n);
+                }
+                None => i.engine.decay(base),
+            }
+        }
+        let fast = i.fast;
+        for &(base, _, _, inflight) in &regions {
+            if !inflight {
+                let r = resident_fast(sys, space, VirtAddr::new(base), fast);
+                i.engine.set_resident(base, r);
+            }
+        }
+
+        let cost = sys.cost.policy_epoch_base
+            + sys.cost.policy_scan_pte * pte_work
+            + sys.cost.policy_heat_update * regions.len() as u64;
+        sys.meter.charge(Context::KernelThread, cost);
+
+        let plan = i
+            .engine
+            .plan(sys.alloc.free_bytes(fast), sys.alloc.total_bytes(fast));
+        i.stats.dropped += u64::from(plan.dropped);
+
+        let mut budget = i.cfg.max_inflight.saturating_sub(i.inflight.len());
+        for &base in &plan.demote {
+            if budget == 0 {
+                break;
+            }
+            if Inner::issue(&mut i, sys, sim, base, false) {
+                budget -= 1;
+            } else {
+                break; // request slots exhausted; retry next epoch
+            }
+        }
+        for &base in &plan.promote {
+            if budget == 0 {
+                break;
+            }
+            let Some(r) = i.engine.region(base).copied() else {
+                continue;
+            };
+            // The plan projected capacity freed by this epoch's
+            // demotions; those are still in flight, so re-check actual
+            // free bytes and defer what does not fit yet.
+            if sys.alloc.free_bytes(fast) < r.bytes() {
+                i.stats.dropped += 1;
+                continue;
+            }
+            if Inner::issue(&mut i, sys, sim, base, true) {
+                budget -= 1;
+            } else {
+                break;
+            }
+        }
+
+        if !i.inflight.is_empty() && !i.poll_armed {
+            Inner::arm_poll(&mut i, sys, sim);
+        }
+        let hook = i.epoch_hook.expect("set at launch");
+        drop(i);
+        sim.schedule_after(period, SimEvent::Hook { hook, arg: arg + 1 });
+    }
+
+    /// Issues one policy migration; true on success.
+    fn issue(
+        i: &mut std::cell::RefMut<'_, Inner>,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        base: u64,
+        to_fast: bool,
+    ) -> bool {
+        let Some(r) = i.engine.region(base).copied() else {
+            return false;
+        };
+        let dst = if to_fast { i.fast } else { i.slow };
+        let spec =
+            MoveSpec::migrate(VirtAddr::new(base), r.pages, r.page_size, dst).with_user_data(base);
+        match i.memif.submit_background(sys, sim, spec) {
+            Ok((rid, _cpu)) => {
+                i.inflight.insert(rid.0, base);
+                i.engine.set_inflight(base, true);
+                if to_fast {
+                    i.stats.promotions += 1;
+                } else {
+                    i.stats.demotions += 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Completion waker: retire finished policy moves and re-arm.
+    fn drain(inner: &Rc<RefCell<Inner>>, sys: &mut System, sim: &mut Sim<System>) {
+        let mut i = inner.borrow_mut();
+        i.poll_armed = false;
+        let memif = i.memif;
+        while let Ok(Some(c)) = memif.retrieve_completed(sys) {
+            let Some(base) = i.inflight.remove(&c.req_id.0) else {
+                continue;
+            };
+            i.engine.set_inflight(base, false);
+            if c.status.is_ok() {
+                i.stats.moves_ok += 1;
+            } else {
+                i.stats.moves_failed += 1;
+            }
+            // Residency follows the *mapping*, not the status: an
+            // aborted migration restored the original frames, while a
+            // raced one still relocated them. The page table is the
+            // truth either way.
+            let (space, fast) = (i.space, i.fast);
+            let r = resident_fast(sys, space, VirtAddr::new(base), fast);
+            i.engine.set_resident(base, r);
+            // Release installs final PTEs with young cleared — the same
+            // state an application reference leaves. Re-arm the bits now
+            // (discarding the scan) so the next epoch does not mistake
+            // the move itself for references and ping-pong the region.
+            if let Some(region) = i.engine.region(base).copied() {
+                let _ = sys.space_mut(space).scan_referenced(
+                    VirtAddr::new(base),
+                    region.pages,
+                    region.page_size,
+                );
+                sys.meter.charge(
+                    Context::KernelThread,
+                    sys.cost.policy_scan_pte * u64::from(region.pages),
+                );
+            }
+        }
+        if i.inflight.is_empty() {
+            for ev in std::mem::take(&mut i.on_idle) {
+                sim.schedule_after(SimDuration::from_ns(0), ev);
+            }
+        } else {
+            Inner::arm_poll(&mut i, sys, sim);
+        }
+    }
+
+    fn arm_poll(i: &mut std::cell::RefMut<'_, Inner>, sys: &mut System, sim: &mut Sim<System>) {
+        let hook = i.drain_hook.expect("set at launch");
+        let memif = i.memif;
+        if memif
+            .poll_event(sys, sim, SimEvent::Hook { hook, arg: 0 })
+            .is_ok()
+        {
+            i.poll_armed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memif::{MemifConfig, RaceMode};
+    use memif_mm::AccessKind;
+
+    const PAGE: PageSize = PageSize::Small4K;
+    const PAGES: u32 = 32; // 128 KiB regions
+
+    /// End-to-end daemon run on KeyStone II: a repeatedly-touched slow
+    /// region is promoted to SRAM and an untouched SRAM resident is
+    /// demoted, with all bookkeeping consistent.
+    #[test]
+    fn daemon_promotes_hot_and_demotes_cold() {
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let hot = sys.mmap(space, PAGES, PAGE, NodeId(0)).unwrap();
+        let cold = sys.mmap(space, PAGES, PAGE, NodeId(1)).unwrap();
+
+        let config = MemifConfig {
+            race_mode: RaceMode::DetectRecover,
+            ..MemifConfig::default()
+        };
+        let memif = Memif::open(&mut sys, space, config).unwrap();
+        let daemon =
+            PolicyDaemon::launch(&mut sys, &mut sim, memif, space, PolicyConfig::default());
+        daemon.track(&sys, hot, PAGES, PAGE);
+        daemon.track(&sys, cold, PAGES, PAGE);
+        assert!(!daemon.is_resident_fast(hot));
+        assert!(daemon.is_resident_fast(cold));
+
+        // The app: touch every page of `hot` each 400 µs, ten times.
+        // Touches sit between the daemon's 1 ms epoch boundaries, so the
+        // promotion window never overlaps a touch.
+        let d3 = daemon.clone();
+        let touch: Rc<RefCell<Option<HookId>>> = Rc::new(RefCell::new(None));
+        let touch2 = Rc::clone(&touch);
+        let id = sys.register_hook(move |sys, sim, tick| {
+            for p in 0..PAGES {
+                let va = hot.offset(u64::from(p) * PAGE.bytes());
+                sys.space_mut(space).access(va, AccessKind::Read).unwrap();
+            }
+            if tick < 10 {
+                let hook = touch2.borrow().expect("set before run");
+                sim.schedule_after(
+                    SimDuration::from_ns(400_000),
+                    SimEvent::Hook {
+                        hook,
+                        arg: tick + 1,
+                    },
+                );
+            } else {
+                d3.stop();
+            }
+        });
+        *touch.borrow_mut() = Some(id);
+        sim.schedule_after(SimDuration::from_ns(0), SimEvent::Hook { hook: id, arg: 1 });
+        sim.run(&mut sys);
+
+        let stats = daemon.stats();
+        assert!(stats.epochs >= 3, "epoch loop ran: {stats:?}");
+        assert!(stats.promotions >= 1, "hot region promoted: {stats:?}");
+        assert!(stats.demotions >= 1, "cold region demoted: {stats:?}");
+        assert!(stats.moves_ok >= 2, "moves completed: {stats:?}");
+        assert!(daemon.is_resident_fast(hot), "hot now on SRAM: {stats:?}");
+        assert!(!daemon.is_resident_fast(cold), "cold now on DDR: {stats:?}");
+        assert!(!daemon.busy(), "window drained");
+    }
+
+    /// A stopped daemon schedules nothing further: the simulation
+    /// quiesces even with tracked regions.
+    #[test]
+    fn stop_quiesces_the_loop() {
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let base = sys.mmap(space, PAGES, PAGE, NodeId(0)).unwrap();
+        let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+        let daemon =
+            PolicyDaemon::launch(&mut sys, &mut sim, memif, space, PolicyConfig::default());
+        daemon.track(&sys, base, PAGES, PAGE);
+        daemon.stop();
+        sim.run(&mut sys);
+        assert_eq!(daemon.stats().epochs, 0, "stopped before the first epoch");
+    }
+}

@@ -1,0 +1,281 @@
+//! The pure decision core: decayed heat, watermark-bounded hot-set
+//! selection, and hysteresis.
+//!
+//! The engine is deliberately sim-free — it sees scan results and
+//! capacity numbers, and returns move lists. All state lives in
+//! `BTreeMap`s keyed by region base address and every selection sorts
+//! with a total order (heat, then base), so identical inputs produce
+//! identical plans: the daemon's epoch loop is replayable because this
+//! layer is a pure function of its history.
+
+use std::collections::BTreeMap;
+
+use memif_mm::PageSize;
+
+use crate::PolicyConfig;
+
+/// Per-region policy state.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackedRegion {
+    /// Region base address.
+    pub base: u64,
+    /// Pages covered.
+    pub pages: u32,
+    /// Page granularity.
+    pub page_size: PageSize,
+    /// Exponentially-decayed heat, in page-touches.
+    pub heat: u64,
+    /// True while the region's frames sit on the fast node.
+    pub resident_fast: bool,
+    /// True while a policy move for the region is outstanding (the
+    /// region is neither scanned nor re-planned until it retires).
+    pub inflight: bool,
+}
+
+impl TrackedRegion {
+    /// Bytes covered by the region.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.pages) * self.page_size.bytes()
+    }
+}
+
+/// One epoch's move decisions, in issue order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyPlan {
+    /// Regions to demote to the slow node, coldest first. Demotions are
+    /// issued before promotions so capacity frees ahead of demand.
+    pub demote: Vec<u64>,
+    /// Regions to promote to the fast node, hottest first.
+    pub promote: Vec<u64>,
+    /// Hot regions that did not fit under the watermark this epoch.
+    pub dropped: u32,
+}
+
+/// The placement engine: tracked regions plus the selection knobs.
+#[derive(Debug)]
+pub struct PolicyEngine {
+    regions: BTreeMap<u64, TrackedRegion>,
+    decay_num: u64,
+    decay_den: u64,
+    promote_permille: u64,
+    demote_permille: u64,
+    watermark_permille: u64,
+}
+
+impl PolicyEngine {
+    /// An engine with `cfg`'s selection knobs and no tracked regions.
+    #[must_use]
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        PolicyEngine {
+            regions: BTreeMap::new(),
+            decay_num: u64::from(cfg.decay_num),
+            decay_den: u64::from(cfg.decay_den).max(1),
+            promote_permille: u64::from(cfg.promote_permille),
+            demote_permille: u64::from(cfg.demote_permille),
+            watermark_permille: u64::from(cfg.watermark_permille),
+        }
+    }
+
+    /// Registers a region for placement (idempotent per base address).
+    pub fn track(&mut self, base: u64, pages: u32, page_size: PageSize, resident_fast: bool) {
+        self.regions.entry(base).or_insert(TrackedRegion {
+            base,
+            pages,
+            page_size,
+            heat: 0,
+            resident_fast,
+            inflight: false,
+        });
+    }
+
+    /// Folds one epoch's scan result into `base`'s heat: decay, then
+    /// add the referenced page count.
+    pub fn observe(&mut self, base: u64, referenced: u32) {
+        if let Some(r) = self.regions.get_mut(&base) {
+            r.heat = r.heat * self.decay_num / self.decay_den + u64::from(referenced);
+        }
+    }
+
+    /// Decays `base`'s heat without new observations (regions skipped
+    /// by the scan — e.g. with a move outstanding — still cool down).
+    pub fn decay(&mut self, base: u64) {
+        if let Some(r) = self.regions.get_mut(&base) {
+            r.heat = r.heat * self.decay_num / self.decay_den;
+        }
+    }
+
+    /// Updates residency bookkeeping for `base`.
+    pub fn set_resident(&mut self, base: u64, fast: bool) {
+        if let Some(r) = self.regions.get_mut(&base) {
+            r.resident_fast = fast;
+        }
+    }
+
+    /// Marks/unmarks an outstanding policy move for `base`.
+    pub fn set_inflight(&mut self, base: u64, inflight: bool) {
+        if let Some(r) = self.regions.get_mut(&base) {
+            r.inflight = inflight;
+        }
+    }
+
+    /// The tracked regions in base-address order.
+    pub fn regions(&self) -> impl Iterator<Item = &TrackedRegion> {
+        self.regions.values()
+    }
+
+    /// One region's state.
+    #[must_use]
+    pub fn region(&self, base: u64) -> Option<&TrackedRegion> {
+        self.regions.get(&base)
+    }
+
+    /// A region is *hot* when its heat reaches `promote_permille` of
+    /// its page count — e.g. 500 means "half the region's pages' worth
+    /// of decayed touches".
+    #[must_use]
+    pub fn is_hot(&self, r: &TrackedRegion) -> bool {
+        r.heat * 1000 >= u64::from(r.pages) * self.promote_permille
+    }
+
+    /// A region is *cold* when its heat has decayed to
+    /// `demote_permille` of its page count. The gap between the two
+    /// thresholds is the hysteresis band: a region between them is
+    /// neither promoted nor demoted, so one noisy epoch cannot
+    /// ping-pong it.
+    #[must_use]
+    pub fn is_cold(&self, r: &TrackedRegion) -> bool {
+        r.heat * 1000 <= u64::from(r.pages) * self.demote_permille
+    }
+
+    /// Builds this epoch's plan against the fast node's current
+    /// occupancy (`fast_free`/`fast_total` from the frame allocator).
+    ///
+    /// Selection: every cold fast-resident region is demoted (coldest
+    /// first); hot slow-resident regions are promoted hottest-first
+    /// while projected occupancy stays under the watermark ceiling,
+    /// crediting the bytes this epoch's demotions will free. Regions
+    /// with a move outstanding are never re-planned.
+    #[must_use]
+    pub fn plan(&self, fast_free: u64, fast_total: u64) -> PolicyPlan {
+        let ceiling = fast_total / 1000 * self.watermark_permille;
+        let mut used = fast_total.saturating_sub(fast_free);
+
+        let mut demote: Vec<&TrackedRegion> = self
+            .regions
+            .values()
+            .filter(|r| !r.inflight && r.resident_fast && self.is_cold(r))
+            .collect();
+        // Coldest first; base address breaks ties so the order is total.
+        demote.sort_by_key(|r| (r.heat, r.base));
+        for r in &demote {
+            used = used.saturating_sub(r.bytes());
+        }
+
+        let mut promote: Vec<&TrackedRegion> = self
+            .regions
+            .values()
+            .filter(|r| !r.inflight && !r.resident_fast && self.is_hot(r))
+            .collect();
+        // Hottest first (descending heat, ascending base on ties).
+        promote.sort_by_key(|r| (std::cmp::Reverse(r.heat), r.base));
+
+        let mut plan = PolicyPlan {
+            demote: demote.iter().map(|r| r.base).collect(),
+            ..PolicyPlan::default()
+        };
+        for r in &promote {
+            if used + r.bytes() <= ceiling {
+                used += r.bytes();
+                plan.promote.push(r.base);
+            } else {
+                plan.dropped += 1;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: PageSize = PageSize::Small4K;
+    const PAGES: u32 = 64; // 256 KiB regions
+
+    fn engine() -> PolicyEngine {
+        PolicyEngine::new(&PolicyConfig::default())
+    }
+
+    #[test]
+    fn heat_decays_exponentially() {
+        let mut e = engine();
+        e.track(0x1000, PAGES, PAGE, false);
+        e.observe(0x1000, 64);
+        assert_eq!(e.region(0x1000).unwrap().heat, 64);
+        e.observe(0x1000, 64);
+        assert_eq!(e.region(0x1000).unwrap().heat, 64 / 4 + 64);
+        e.decay(0x1000);
+        assert_eq!(e.region(0x1000).unwrap().heat, 80 / 4);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_regions_in_place() {
+        let mut e = engine();
+        e.track(0x1000, PAGES, PAGE, true);
+        // Default thresholds: hot >= 500‰ of 64 pages = 32; cold <= 150‰
+        // of 64 pages = 9.6. Heat 20 sits between the two.
+        e.observe(0x1000, 20);
+        let r = *e.region(0x1000).unwrap();
+        assert!(!e.is_hot(&r) && !e.is_cold(&r), "inside the band");
+        let plan = e.plan(1 << 20, 6 << 20);
+        assert!(plan.demote.is_empty() && plan.promote.is_empty());
+    }
+
+    #[test]
+    fn plan_orders_demotions_before_promotions_fit() {
+        let mut e = engine();
+        // Two cold fast residents, one hot slow region.
+        e.track(0x1000, PAGES, PAGE, true);
+        e.track(0x2000_0000, PAGES, PAGE, true);
+        e.track(0x4000_0000, PAGES, PAGE, false);
+        e.observe(0x2000_0000, 5); // slightly warmer of the two cold ones
+        e.observe(0x4000_0000, 64);
+
+        // Fast node nearly full: only the demotions make the promotion fit.
+        let total = 6 << 20;
+        let free = 600 << 10; // 600 KiB free, watermark 900‰ of 6 MiB
+        let plan = e.plan(free, total);
+        assert_eq!(plan.demote, vec![0x1000, 0x2000_0000], "coldest first");
+        assert_eq!(plan.promote, vec![0x4000_0000]);
+        assert_eq!(plan.dropped, 0);
+    }
+
+    #[test]
+    fn watermark_drops_unfittable_promotions() {
+        let mut e = engine();
+        e.track(0x1000, PAGES, PAGE, false);
+        e.track(0x2000_0000, PAGES, PAGE, false);
+        e.observe(0x1000, 60);
+        e.observe(0x2000_0000, 64);
+        // Room under the ceiling for exactly one 256 KiB region.
+        let total: u64 = 6 << 20;
+        let ceiling = total / 1000 * 900;
+        let used = ceiling - (256 << 10);
+        let plan = e.plan(total - used, total);
+        assert_eq!(plan.promote, vec![0x2000_0000], "hottest wins the slot");
+        assert_eq!(plan.dropped, 1);
+    }
+
+    #[test]
+    fn inflight_regions_are_never_replanned() {
+        let mut e = engine();
+        e.track(0x1000, PAGES, PAGE, false);
+        e.observe(0x1000, 64);
+        e.set_inflight(0x1000, true);
+        let plan = e.plan(6 << 20, 6 << 20);
+        assert!(plan.promote.is_empty());
+        e.set_inflight(0x1000, false);
+        assert_eq!(e.plan(6 << 20, 6 << 20).promote, vec![0x1000]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # memif-policy — automatic hot/cold placement over async moves
+//!
+//! The paper's thesis is an *interface*: asynchronous moves let software
+//! overlap placement change with computation. This crate supplies the
+//! natural client of that interface — a kernel-style placement daemon
+//! that discovers the hot working set by sampling and repairs placement
+//! with background [`memif`] migrations, never stalling the
+//! application:
+//!
+//! * [`engine`] — the pure decision core: per-region exponentially
+//!   decayed heat from reference-bit scans, hot-set selection under a
+//!   fast-node capacity watermark, and promote/demote hysteresis;
+//! * [`daemon`] — the epoch loop bound to the simulation: scans address
+//!   spaces ([`memif_mm::AddressSpace::scan_referenced`]), prices its
+//!   own work through the cost model, and issues plans through
+//!   [`memif::Memif::submit_background`] as low-priority work with a
+//!   bounded in-flight window;
+//! * [`scenario`] — the evaluation harness: a phased hot-set
+//!   application ([`memif_workloads::phased_hot_set`]) run with no
+//!   policy, with *synchronous* migration (the app blocks while moves
+//!   run — the mbind-style comparator), or with the asynchronous
+//!   daemon.
+//!
+//! Everything is deterministic: identical seeds and configurations
+//! produce byte-identical event logs, so policy runs replay through the
+//! same trace machinery as plain move streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod scenario;
+
+pub use daemon::{PolicyDaemon, PolicyStats};
+pub use engine::{PolicyEngine, PolicyPlan, TrackedRegion};
+pub use scenario::{run_scenario, Mode, ScenarioConfig, ScenarioResult};
+
+use memif::SimDuration;
+
+/// Tuning knobs for the placement daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Sampling-epoch period. Must comfortably exceed the application's
+    /// time to cycle its working set once, or hot regions alias with
+    /// cold ones between scans.
+    pub epoch: SimDuration,
+    /// Heat decay numerator: each epoch multiplies heat by
+    /// `decay_num / decay_den` before adding new references.
+    pub decay_num: u32,
+    /// Heat decay denominator.
+    pub decay_den: u32,
+    /// Promotion threshold, in thousandths of a region's page count
+    /// (500 = "heat worth half the region's pages").
+    pub promote_permille: u32,
+    /// Demotion threshold, same units; the gap below
+    /// [`promote_permille`](Self::promote_permille) is the hysteresis
+    /// band.
+    pub demote_permille: u32,
+    /// Fast-node occupancy ceiling the planner fills toward, in
+    /// thousandths of the node's capacity.
+    pub watermark_permille: u32,
+    /// Maximum policy moves outstanding at once; plans beyond the
+    /// window wait for the next epoch.
+    pub max_inflight: usize,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            epoch: SimDuration::from_ns(1_000_000),
+            decay_num: 1,
+            decay_den: 4,
+            promote_permille: 500,
+            demote_permille: 150,
+            watermark_permille: 900,
+            max_inflight: 4,
+        }
+    }
+}

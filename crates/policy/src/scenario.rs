@@ -1,0 +1,401 @@
+//! The phased hot-set evaluation harness (experiment E14).
+//!
+//! An application streams over a rotating hot subset of a region pool
+//! that exceeds the fast node several times over
+//! ([`memif_workloads::phased_hot_set`]); each tick it streams one hot
+//! region, round-robin, at the bandwidth of whichever node currently
+//! backs it. The same application runs under three placement regimes:
+//!
+//! * [`Mode::None`] — no policy; everything stays on the slow node;
+//! * [`Mode::Sync`] — the daemon's decisions, but the application
+//!   blocks while moves are in flight (the synchronous `mbind`-style
+//!   comparator);
+//! * [`Mode::Async`] — the memif thesis: the daemon repairs placement
+//!   with background moves while the application keeps computing.
+//!
+//! Runs are deterministic: identical configurations yield byte-identical
+//! event logs, so `memifctl policy --trace-events` round-trips through
+//! `memifctl replay` like any move trace.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use memif::{
+    Context, FaultPlan, HookId, Memif, MemifConfig, NodeId, PageSize, RaceMode, Sim, SimDuration,
+    SimEvent, SimTime, System, VirtAddr,
+};
+use memif_hwsim::{CostModel, MemoryKind, Topology};
+use memif_mm::AccessKind;
+use memif_workloads::phased_hot_set;
+
+use crate::daemon::{PolicyDaemon, PolicyStats};
+use crate::PolicyConfig;
+
+/// Placement regime for a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No placement policy: the pool stays where it was mapped.
+    None,
+    /// Policy decisions with synchronous migration: the application
+    /// parks whenever policy moves are outstanding.
+    Sync,
+    /// Policy decisions over asynchronous background moves.
+    Async,
+}
+
+impl Mode {
+    /// The mode's stable command-line name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::None => "none",
+            Mode::Sync => "sync",
+            Mode::Async => "async",
+        }
+    }
+
+    /// Parses a command-line mode name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Mode::None),
+            "sync" => Some(Mode::Sync),
+            "async" => Some(Mode::Async),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that defines one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Placement regime.
+    pub mode: Mode,
+    /// Seed for the phase schedule.
+    pub seed: u64,
+    /// Regions in the pool.
+    pub regions: usize,
+    /// Pages per region.
+    pub pages_per_region: u32,
+    /// Page granularity.
+    pub page_size: PageSize,
+    /// Phases in the schedule.
+    pub phases: usize,
+    /// Hot regions per phase.
+    pub hot: usize,
+    /// Hot regions carried over between phases.
+    pub carry: usize,
+    /// Application ticks per phase (each streams one hot region).
+    pub ticks_per_phase: u32,
+    /// Daemon tuning.
+    pub policy: PolicyConfig,
+    /// The daemon's memif instance configuration.
+    pub memif: MemifConfig,
+    /// Optional chaos plan installed before the run.
+    pub faults: Option<FaultPlan>,
+    /// Record the typed event log (for tracing/replay).
+    pub log_events: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            mode: Mode::Async,
+            seed: 42,
+            regions: 24,
+            pages_per_region: 64, // 256 KiB regions; the pool equals SRAM
+            page_size: PageSize::Small4K,
+            phases: 6,
+            hot: 8,
+            carry: 3,
+            ticks_per_phase: 32,
+            policy: PolicyConfig::default(),
+            memif: MemifConfig {
+                // Transparent to the app: racing writes abort the move
+                // (read disturbance finalizes harmlessly), and the
+                // modern issue path drains policy batches efficiently.
+                race_mode: RaceMode::DetectRecover,
+                batch_max: 4,
+                coalesce: true,
+                issue_shards: 2,
+                ..MemifConfig::default()
+            },
+            faults: None,
+            log_events: false,
+        }
+    }
+}
+
+/// Measurements from one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The regime that ran.
+    pub mode: Mode,
+    /// End-to-end application runtime (first tick to last).
+    pub wall: SimDuration,
+    /// Application ticks executed.
+    pub ticks: u64,
+    /// Ticks that streamed from the fast node.
+    pub fast_ticks: u64,
+    /// Ticks that streamed from the slow node.
+    pub slow_ticks: u64,
+    /// Per-frame access-counter total drained from the sampling layer.
+    pub page_touches: u64,
+    /// CPU busy fraction over the run (all contexts).
+    pub cpu_usage: f64,
+    /// Daemon counters (zero in [`Mode::None`]).
+    pub policy: PolicyStats,
+    /// The daemon device's driver counters (default in [`Mode::None`]).
+    pub driver: memif::DriverStats,
+    /// JSON-lines event log, when requested.
+    pub events: Vec<String>,
+    /// `(req_id, terminal status)` of every policy move, log order.
+    pub statuses: Vec<(u64, String)>,
+}
+
+struct App {
+    bases: Vec<VirtAddr>,
+    hot_sets: Vec<Vec<usize>>,
+    pages: u32,
+    page_size: PageSize,
+    ticks_per_phase: u32,
+    total_ticks: u64,
+    fast_ticks: u64,
+    slow_ticks: u64,
+    finished_at: Option<SimTime>,
+    hook: Option<HookId>,
+}
+
+/// Runs one scenario to completion and collects the measurements.
+///
+/// # Panics
+///
+/// Panics on setup failure (mapping the pool, opening the daemon's
+/// memif instance) or if the application never finishes — all
+/// impossible with a well-formed configuration.
+#[must_use]
+pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
+    let mut sys = System::with_profile(Topology::keystone_ii(), cost.clone());
+    if cfg.log_events {
+        sys.enable_event_log();
+    }
+    let mut sim = Sim::new();
+    if let Some(plan) = cfg.faults.clone() {
+        sys.install_faults(&mut sim, plan);
+    }
+
+    let fast_node = sys
+        .topo
+        .all_nodes()
+        .iter()
+        .find(|n| n.kind == MemoryKind::Fast)
+        .map_or(NodeId(1), |n| n.id);
+    let slow_node = sys
+        .topo
+        .all_nodes()
+        .iter()
+        .find(|n| n.kind == MemoryKind::Slow)
+        .map_or(NodeId(0), |n| n.id);
+
+    let space = sys.new_space();
+    sys.space_mut(space).enable_sampling();
+    let bases: Vec<VirtAddr> = (0..cfg.regions)
+        .map(|_| {
+            sys.mmap(space, cfg.pages_per_region, cfg.page_size, slow_node)
+                .expect("slow node holds the pool")
+        })
+        .collect();
+    let schedule = phased_hot_set(cfg.seed, cfg.regions, cfg.phases, cfg.hot, cfg.carry);
+
+    let daemon = match cfg.mode {
+        Mode::None => None,
+        Mode::Sync | Mode::Async => {
+            let memif = Memif::open(&mut sys, space, cfg.memif.clone()).expect("daemon instance");
+            let d = PolicyDaemon::launch(&mut sys, &mut sim, memif, space, cfg.policy.clone());
+            for &b in &bases {
+                d.track(&sys, b, cfg.pages_per_region, cfg.page_size);
+            }
+            Some(d)
+        }
+    };
+    let app = Rc::new(RefCell::new(App {
+        bases,
+        hot_sets: schedule.phases.clone(),
+        pages: cfg.pages_per_region,
+        page_size: cfg.page_size,
+        ticks_per_phase: cfg.ticks_per_phase,
+        total_ticks: u64::from(cfg.ticks_per_phase) * cfg.phases as u64,
+        fast_ticks: 0,
+        slow_ticks: 0,
+        finished_at: None,
+        hook: None,
+    }));
+
+    let sync_gate = cfg.mode == Mode::Sync;
+    let app2 = Rc::clone(&app);
+    let daemon2 = daemon.clone();
+    let hook = sys.register_hook(move |sys, sim, tick| {
+        let hook = app2.borrow().hook.expect("set before scheduling");
+        if tick >= app2.borrow().total_ticks {
+            app2.borrow_mut().finished_at = Some(sim.now());
+            if let Some(d) = &daemon2 {
+                d.stop();
+            }
+            return;
+        }
+        // Synchronous comparator: placement repair blocks the app.
+        if sync_gate {
+            if let Some(d) = &daemon2 {
+                if d.busy() {
+                    d.when_idle(sim, SimEvent::Hook { hook, arg: tick });
+                    return;
+                }
+            }
+        }
+        let (base, bytes) = {
+            let a = app2.borrow();
+            let phase = (tick / u64::from(a.ticks_per_phase)) as usize;
+            let hot = &a.hot_sets[phase];
+            let slot = hot[(tick % u64::from(a.ticks_per_phase)) as usize % hot.len()];
+            (a.bases[slot], u64::from(a.pages) * a.page_size.bytes())
+        };
+        // Stream the region: every page referenced (clears young, feeds
+        // the sampling layer), priced at the backing node's bandwidth.
+        let (pages, page_size) = {
+            let a = app2.borrow();
+            (a.pages, a.page_size)
+        };
+        for p in 0..pages {
+            let va = base.offset(u64::from(p) * page_size.bytes());
+            let _ = sys.space_mut(space).access(va, AccessKind::Read);
+        }
+        let on_fast = sys
+            .space(space)
+            .translate(base)
+            .and_then(|pa| sys.node_of(pa))
+            == Some(fast_node);
+        let bw = if on_fast {
+            sys.cost.cpu_stream_fast_gbps
+        } else {
+            sys.cost.cpu_stream_slow_gbps
+        };
+        {
+            let mut a = app2.borrow_mut();
+            if on_fast {
+                a.fast_ticks += 1;
+            } else {
+                a.slow_ticks += 1;
+            }
+        }
+        let d = SimDuration::for_bytes(bytes, bw);
+        sys.meter.charge(Context::App, d);
+        sim.schedule_after(
+            d,
+            SimEvent::Hook {
+                hook,
+                arg: tick + 1,
+            },
+        );
+    });
+    app.borrow_mut().hook = Some(hook);
+    sim.schedule_after(SimDuration::from_ns(0), SimEvent::Hook { hook, arg: 0 });
+
+    sim.run(&mut sys);
+
+    let a = app.borrow();
+    let finished = a.finished_at.expect("application ran to completion");
+    let wall = finished.since(SimTime::ZERO);
+    let policy = daemon.as_ref().map(PolicyDaemon::stats).unwrap_or_default();
+    let (driver, statuses) = match &daemon {
+        Some(_) => {
+            // The daemon's instance is the only device in the system.
+            let dev = sys
+                .device(memif::DeviceId(0))
+                .expect("daemon device stays open");
+            (
+                dev.stats.clone(),
+                dev.log
+                    .iter()
+                    .map(|r| (r.req_id, format!("{:?}", r.status)))
+                    .collect(),
+            )
+        }
+        None => (memif::DriverStats::default(), Vec::new()),
+    };
+    let page_touches: u64 = sys.space_mut(space).take_access_counts().values().sum();
+    ScenarioResult {
+        mode: cfg.mode,
+        wall,
+        ticks: a.total_ticks,
+        fast_ticks: a.fast_ticks,
+        slow_ticks: a.slow_ticks,
+        page_touches,
+        cpu_usage: sys.meter.cpu_busy().as_ns() as f64 / wall.as_ns().max(1) as f64,
+        policy,
+        driver,
+        events: sys.take_event_log(),
+        statuses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mode: Mode) -> ScenarioConfig {
+        ScenarioConfig {
+            mode,
+            phases: 3,
+            ticks_per_phase: 16,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn no_policy_stays_on_the_slow_node() {
+        let r = run_scenario(&CostModel::keystone_ii(), &quick(Mode::None));
+        assert_eq!(r.fast_ticks, 0);
+        assert_eq!(r.slow_ticks, r.ticks);
+        assert_eq!(r.policy, PolicyStats::default());
+        assert!(r.page_touches >= r.ticks * 64, "sampling layer counted");
+    }
+
+    #[test]
+    fn async_policy_moves_compute_to_the_fast_node() {
+        let none = run_scenario(&CostModel::keystone_ii(), &quick(Mode::None));
+        let r = run_scenario(&CostModel::keystone_ii(), &quick(Mode::Async));
+        assert!(r.policy.promotions > 0, "promotions issued: {:?}", r.policy);
+        assert!(r.fast_ticks > 0, "some ticks ran from SRAM");
+        assert!(
+            r.wall < none.wall,
+            "policy beats no policy: {:?} vs {:?}",
+            r.wall,
+            none.wall
+        );
+    }
+
+    #[test]
+    fn async_beats_sync_migration() {
+        let sync = run_scenario(&CostModel::keystone_ii(), &quick(Mode::Sync));
+        let async_ = run_scenario(&CostModel::keystone_ii(), &quick(Mode::Async));
+        assert!(
+            async_.wall < sync.wall,
+            "overlap wins: async {:?} vs sync {:?}",
+            async_.wall,
+            sync.wall
+        );
+    }
+
+    #[test]
+    fn identical_configs_replay_byte_identically() {
+        let cfg = ScenarioConfig {
+            log_events: true,
+            ..quick(Mode::Async)
+        };
+        let a = run_scenario(&CostModel::keystone_ii(), &cfg);
+        let b = run_scenario(&CostModel::keystone_ii(), &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.statuses, b.statuses);
+        assert_eq!(a.wall, b.wall);
+    }
+}

@@ -6,14 +6,18 @@
 //!   `f64` arithmetic over byte buffers) for numerical validation of the
 //!   move paths;
 //! * [`generator`] — move-request stream generators for the Figure 6–8
-//!   sweeps and randomized stress tests.
+//!   sweeps and randomized stress tests;
+//! * [`phased`] — phased hot-set schedules for the placement-policy
+//!   evaluation (E14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;
 pub mod kernels;
+pub mod phased;
 pub mod profiles;
 
 pub use generator::{pow2_sweep, random_mix, uniform_stream, RequestShape, ShapeKind};
+pub use phased::{phased_hot_set, PhaseSchedule};
 pub use profiles::{stream_add, stream_triad, streamcluster_pgain, table4_kernels, wordcount_like};

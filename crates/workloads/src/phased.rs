@@ -1,0 +1,134 @@
+//! Phased hot-set workloads for the placement-policy evaluation (E14).
+//!
+//! The policy daemon's thesis workload: an application whose working
+//! set is a rotating *hot subset* of a larger region pool. Within a
+//! phase the hot regions are streamed over and over; at phase
+//! boundaries the hot set shifts, so a placement policy must notice the
+//! change (sampling), move the new hot regions toward fast memory
+//! (promotion) and retire the old ones (demotion). The generator emits
+//! only the *schedule* — which regions are hot in which phase — so the
+//! harness decides how regions are sized and touched.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic phase schedule over a pool of `regions` regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    /// Number of regions in the pool.
+    pub regions: usize,
+    /// Hot region indices per phase, each sorted ascending.
+    pub phases: Vec<Vec<usize>>,
+}
+
+impl PhaseSchedule {
+    /// Indices hot in `phase` but not in the previous one (the pages a
+    /// policy must promote at this boundary).
+    #[must_use]
+    pub fn entering(&self, phase: usize) -> Vec<usize> {
+        let prev: &[usize] = if phase == 0 {
+            &[]
+        } else {
+            &self.phases[phase - 1]
+        };
+        self.phases[phase]
+            .iter()
+            .copied()
+            .filter(|r| !prev.contains(r))
+            .collect()
+    }
+}
+
+/// Builds a phased hot-set schedule: `phases` phases over a pool of
+/// `regions` regions, each phase keeping `carry` regions from the
+/// previous hot set (temporal locality) and drawing the rest fresh from
+/// the cold pool. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics when `hot > regions` or `carry > hot` — the schedule would be
+/// unsatisfiable.
+#[must_use]
+pub fn phased_hot_set(
+    seed: u64,
+    regions: usize,
+    phases: usize,
+    hot: usize,
+    carry: usize,
+) -> PhaseSchedule {
+    assert!(hot <= regions, "hot set larger than the region pool");
+    assert!(carry <= hot, "cannot carry more than the hot set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(phases);
+    for p in 0..phases {
+        let mut phase: Vec<usize> = Vec::with_capacity(hot);
+        if p > 0 {
+            // Keep `carry` survivors of the previous hot set.
+            let mut prev = out[p - 1].clone();
+            for _ in 0..carry {
+                let k = rng.random_range(0..prev.len() as u64) as usize;
+                phase.push(prev.swap_remove(k));
+            }
+        }
+        // Fill from the regions not already chosen this phase.
+        let mut cold: Vec<usize> = (0..regions).filter(|r| !phase.contains(r)).collect();
+        while phase.len() < hot {
+            let k = rng.random_range(0..cold.len() as u64) as usize;
+            phase.push(cold.swap_remove(k));
+        }
+        phase.sort_unstable();
+        out.push(phase);
+    }
+    PhaseSchedule {
+        regions,
+        phases: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let a = phased_hot_set(11, 24, 6, 8, 2);
+        let b = phased_hot_set(11, 24, 6, 8, 2);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, phased_hot_set(12, 24, 6, 8, 2), "seeds differ");
+        for phase in &a.phases {
+            assert_eq!(phase.len(), 8);
+            assert!(phase.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            assert!(phase.iter().all(|&r| r < 24));
+        }
+    }
+
+    #[test]
+    fn carry_preserves_temporal_locality() {
+        let s = phased_hot_set(3, 16, 5, 6, 3);
+        for p in 1..s.phases.len() {
+            let kept = s.phases[p]
+                .iter()
+                .filter(|r| s.phases[p - 1].contains(r))
+                .count();
+            assert!(kept >= 3, "phase {p} kept only {kept} of the hot set");
+        }
+    }
+
+    #[test]
+    fn entering_lists_the_promotion_work() {
+        let s = phased_hot_set(7, 12, 4, 4, 2);
+        assert_eq!(s.entering(0), s.phases[0], "everything enters at start");
+        for p in 1..4 {
+            for r in s.entering(p) {
+                assert!(s.phases[p].contains(&r));
+                assert!(!s.phases[p - 1].contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot set larger")]
+    fn oversized_hot_set_panics() {
+        let _ = phased_hot_set(0, 4, 2, 8, 0);
+    }
+}
