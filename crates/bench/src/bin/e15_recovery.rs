@@ -1,0 +1,178 @@
+//! E15: crash-detectable moves over the persistent NVM tier.
+//!
+//! Two questions, two tables:
+//!
+//! * **E15a — what does the journal cost when nothing crashes?** The
+//!   Figure 8 streaming workload ping-pongs between DDR and the NVM
+//!   node with the write-ahead move journal off vs on. Every issued
+//!   request pays two persistent `journal_write`s (append at issue,
+//!   seal at retire), so the bar is a small constant per request; the
+//!   asserted acceptance is **< 15% wall-clock overhead** at 4 KB × 16
+//!   pages — the worst case in the sweep, since smaller requests
+//!   amortize the least.
+//!
+//! * **E15b — does recovery terminate every move exactly once?** For
+//!   each crash point a journaled run is crashed mid-stream, recovered
+//!   (`System::recover`), and re-driven per the WAL contract; the run
+//!   must converge to the uncrashed reference: every request `Done`
+//!   exactly once, identical final placement, byte-identical region
+//!   contents, balanced allocator. These are the same invariants the
+//!   `recovery` proptest sweeps; here they gate the experiment binary
+//!   so a regression fails CI's tier-2 smoke (`e15_recovery --quick`).
+//!
+//! Expected shape: journaling costs low-single-digit percent;
+//! submit/post-launch crashes roll everything back (nothing reached the
+//! destination), pre-retire crashes roll forward (bytes already on
+//! NVM), post-retire crashes only re-report sealed statuses.
+
+use memif::{CrashPlan, CrashPoint, MemifConfig, MoveStatus};
+use memif_bench::{crash_migrate_nvm, stream_memif_nvm, CrashOutcome, Table};
+use memif_hwsim::CostModel;
+use memif_mm::PageSize;
+use memif_workloads::ShapeKind;
+
+const PAGE: PageSize = PageSize::Small4K;
+const PAGES: u32 = 16;
+const WINDOW: usize = 8;
+
+fn journal_config(journal: bool) -> MemifConfig {
+    MemifConfig {
+        journal,
+        batch_max: 4,
+        coalesce: true,
+        ..MemifConfig::default()
+    }
+}
+
+fn main() {
+    // `--quick` trims the workload for CI smoke runs; the default run
+    // is untouched so published tables stay reproducible byte-for-byte.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cost = CostModel::keystone_ii();
+    let count = if quick { 48 } else { 256 };
+
+    // E15a: journaling overhead on the fault-free hot path.
+    let mut overhead = Table::new(
+        "E15a: write-ahead journal overhead (DDR<->NVM stream, 4K x 16 pages/req)",
+        &["journal", "GB/s", "wall-ms", "overhead", "cpu"],
+    );
+    let mut base_wall = 0u64;
+    for journal in [false, true] {
+        let run = stream_memif_nvm(
+            &cost,
+            journal_config(journal),
+            ShapeKind::Migrate,
+            PAGE,
+            PAGES,
+            count,
+            WINDOW,
+        );
+        assert_eq!(run.requests, count, "every request terminates");
+        assert_eq!(run.failed, 0, "fault-free runs must not fail requests");
+        let wall = run.wall.as_ns();
+        if !journal {
+            base_wall = wall;
+        }
+        let over = wall as f64 / base_wall.max(1) as f64 - 1.0;
+        overhead.row(&[
+            journal.to_string(),
+            format!("{:.2}", run.throughput_gbps),
+            format!("{:.2}", wall as f64 / 1e6),
+            format!("{:+.2}%", over * 100.0),
+            format!("{:.2}", run.cpu_usage),
+        ]);
+        // The asserted recovery-overhead bar: durable exactly-once
+        // moves for under 15% of the hot path.
+        assert!(
+            over < 0.15,
+            "journaling overhead {:.1}% exceeds the 15% acceptance bar",
+            over * 100.0
+        );
+    }
+    overhead.print();
+    overhead.write_csv("e15_recovery_overhead");
+
+    // E15b: crash at every lifecycle point, recover, re-drive, and
+    // compare against the uncrashed reference run.
+    let crash_count = if quick { 8 } else { 16 };
+    let config = journal_config(true);
+    let reference = crash_migrate_nvm(&cost, config.clone(), PAGE, PAGES, crash_count, None);
+    let mut crashes = Table::new(
+        "E15b: crash -> recover -> re-drive, per crash point (nth=2)",
+        &[
+            "crash-point",
+            "fired",
+            "records",
+            "sealed-pre",
+            "rolled-back",
+            "redriven",
+            "resubmitted",
+            "wall-us",
+        ],
+    );
+    for point in CrashPoint::ALL {
+        let run = crash_migrate_nvm(
+            &cost,
+            config.clone(),
+            PAGE,
+            PAGES,
+            crash_count,
+            Some(CrashPlan::at(point, 2)),
+        );
+        assert_outcome_converged(&run, &reference, point);
+        let (records, rolled_back, redriven, sealed_pre) =
+            run.recovery.as_ref().map_or((0, 0, 0, 0), |r| {
+                (
+                    r.journal_records,
+                    r.rolled_back,
+                    r.redriven,
+                    r.journal_records - r.recovered_requests,
+                )
+            });
+        crashes.row(&[
+            point.as_str().to_owned(),
+            run.crashed.to_string(),
+            records.to_string(),
+            sealed_pre.to_string(),
+            rolled_back.to_string(),
+            redriven.to_string(),
+            run.resubmitted.to_string(),
+            format!("{:.1}", run.wall.as_ns() as f64 / 1e3),
+        ]);
+    }
+    crashes.print();
+    crashes.write_csv("e15_recovery_crash");
+
+    println!(
+        "Shape checks: journaling stays under the 15% overhead bar while every \
+         crash point recovers to the uncrashed reference — each journaled move \
+         reaches exactly one terminal status, rolled-back work is re-driven \
+         once, roll-forward completes copies that already reached the NVM tier, \
+         and final placement, contents, and allocator balance are identical."
+    );
+}
+
+/// The exactly-once acceptance: a crashed-and-recovered run ends
+/// indistinguishable from the reference.
+fn assert_outcome_converged(run: &CrashOutcome, reference: &CrashOutcome, point: CrashPoint) {
+    let label = point.as_str();
+    for (cookie, status) in &run.statuses {
+        assert_eq!(
+            *status,
+            MoveStatus::Done,
+            "{label}: request {cookie} did not converge to Done"
+        );
+    }
+    assert_eq!(
+        run.placement, reference.placement,
+        "{label}: final placement diverged from the uncrashed reference"
+    );
+    assert_eq!(
+        run.fingerprint, reference.fingerprint,
+        "{label}: final memory diverged from the uncrashed reference"
+    );
+    assert_eq!(
+        run.free_bytes, reference.free_bytes,
+        "{label}: allocator balance diverged (lost or doubled frames)"
+    );
+}

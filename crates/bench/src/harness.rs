@@ -18,9 +18,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use memif::{Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, SimDuration, SimTime, System};
+use memif::{
+    FaultPlan, Memif, MemifConfig, MoveSpec, MoveStatus, NodeId, PageSize, RecoveryReport, Sim,
+    SimDuration, SimTime, System,
+};
 use memif_baseline::{mbind, RegionRequest};
-use memif_hwsim::{CostModel, MemoryKind, MemoryNode, PhaseBreakdown, PhysAddr, Topology};
+use memif_hwsim::{
+    CostModel, CrashPlan, MemoryKind, MemoryNode, PhaseBreakdown, PhysAddr, Topology,
+};
 use memif_workloads::ShapeKind;
 
 /// A topology with KeyStone II bandwidths but a 256 MiB fast bank, for
@@ -45,6 +50,37 @@ pub fn bigfast_topology() -> Topology {
                 base: PhysAddr::new(0x0C00_0000),
                 bytes: 256 << 20,
                 bandwidth_gbps: 24.0,
+                boot_visible: false,
+            },
+        ],
+        4,
+    )
+}
+
+/// A two-tier topology for the crash-consistency experiments (E15): a
+/// DDR3 bank plus an NVM-like persistent node of equal read bandwidth.
+/// The NVM node's contents survive a simulated crash; its writes are
+/// throttled separately by `CostModel::nvm_write_bw_gbps`.
+#[must_use]
+pub fn nvm_topology() -> Topology {
+    Topology::custom(
+        vec![
+            MemoryNode {
+                id: NodeId(0),
+                name: "ddr3".to_owned(),
+                kind: MemoryKind::Slow,
+                base: PhysAddr::new(0x8_0000_0000),
+                bytes: 8 << 30,
+                bandwidth_gbps: 6.2,
+                boot_visible: true,
+            },
+            MemoryNode {
+                id: NodeId(1),
+                name: "nvm".to_owned(),
+                kind: MemoryKind::Nvm,
+                base: PhysAddr::new(0x10_0000_0000),
+                bytes: 1 << 30,
+                bandwidth_gbps: 6.2,
                 boot_visible: false,
             },
         ],
@@ -273,6 +309,7 @@ pub fn stream_memif_with_faults(
     faults: Option<memif::FaultPlan>,
 ) -> StreamResult {
     run_stream(
+        bigfast_topology(),
         cost,
         memif_config,
         kind,
@@ -281,6 +318,40 @@ pub fn stream_memif_with_faults(
         count,
         window,
         faults,
+        false,
+    )
+    .result
+}
+
+/// [`stream_memif`] on [`nvm_topology`] instead of the big fast bank:
+/// requests ping-pong between DDR and the persistent NVM node, so the
+/// run exercises the asymmetric-write tier (and, with
+/// `MemifConfig::journal` set, the write-ahead journal costs). The E15
+/// overhead bar compares this with journaling on and off.
+///
+/// # Panics
+///
+/// Panics if any request fails or never completes.
+#[must_use]
+pub fn stream_memif_nvm(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    kind: ShapeKind,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    window: usize,
+) -> StreamResult {
+    run_stream(
+        nvm_topology(),
+        cost,
+        memif_config,
+        kind,
+        page_size,
+        pages,
+        count,
+        window,
+        None,
         false,
     )
     .result
@@ -321,6 +392,7 @@ pub fn stream_memif_logged(
     faults: Option<memif::FaultPlan>,
 ) -> LoggedStream {
     run_stream(
+        bigfast_topology(),
         cost,
         memif_config,
         kind,
@@ -335,6 +407,7 @@ pub fn stream_memif_logged(
 
 #[allow(clippy::too_many_arguments)]
 fn run_stream(
+    topo: Topology,
     cost: &CostModel,
     memif_config: MemifConfig,
     kind: ShapeKind,
@@ -361,7 +434,7 @@ fn run_stream(
         failed: u64,
     }
 
-    let mut sys = System::with_profile(bigfast_topology(), cost.clone());
+    let mut sys = System::with_profile(topo, cost.clone());
     if log_events {
         sys.enable_event_log();
     }
@@ -508,6 +581,255 @@ fn run_stream(
         events: sys.take_event_log(),
         statuses,
     }
+}
+
+/// Outcome of a [`crash_migrate_nvm`] run: every request's terminal
+/// status (exactly one each), the final placement and byte contents of
+/// every region, and the allocator balance — everything the
+/// exactly-once proptest compares against an uncrashed reference run.
+#[derive(Debug, Clone)]
+pub struct CrashOutcome {
+    /// Whether the crash plan actually fired.
+    pub crashed: bool,
+    /// The recovery report, when a crash fired.
+    pub recovery: Option<RecoveryReport>,
+    /// Requests the post-crash application re-submitted (journal showed
+    /// no `Done` terminal for them).
+    pub resubmitted: usize,
+    /// `(cookie, status)` — the single terminal status the application
+    /// attributes to each request, in cookie order.
+    pub statuses: Vec<(u64, MoveStatus)>,
+    /// Final memory node of each region, in region order.
+    pub placement: Vec<NodeId>,
+    /// Per-page virtual-memory checksums, region order.
+    pub fingerprint: Vec<u64>,
+    /// Free bytes per memory node, node-id order (a doubled or leaked
+    /// move unbalances the allocator).
+    pub free_bytes: Vec<u64>,
+    /// Journal records appended over the whole run, including
+    /// re-submissions.
+    pub journal_records: u64,
+    /// Simulated time when the run quiesced.
+    pub wall: SimDuration,
+}
+
+/// Runs `count` journaled migrations on [`nvm_topology`] — even cookies
+/// DDR→NVM, odd cookies NVM→DDR, one region each, alternating
+/// `submit`/`submit_background` — optionally crashing per `crash`, then
+/// recovering and driving every request to exactly one terminal status.
+///
+/// The post-crash application protocol is the write-ahead-log contract:
+/// requests the recovery report shows as `Done` are **not** re-driven;
+/// everything else (rolled back, or vanished before journaling) has its
+/// source data restored — volatile payload is the application's
+/// durability problem, the journal only makes the *move* exactly-once —
+/// and is re-submitted. `journal` is forced on.
+///
+/// # Panics
+///
+/// Panics if any request fails or the run does not quiesce.
+#[must_use]
+pub fn crash_migrate_nvm(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    crash: Option<CrashPlan>,
+) -> CrashOutcome {
+    crash_migrate_nvm_inner(cost, memif_config, page_size, pages, count, crash, false).0
+}
+
+/// [`crash_migrate_nvm`] with the typed event log enabled: returns the
+/// outcome plus the JSON-lines event log spanning the crash, the
+/// recovery (one `"recover"` record), and the post-crash re-drive. Two
+/// runs of the same scenario produce byte-identical logs; `memifctl
+/// recover --trace-events` and its replay check build on this.
+///
+/// # Panics
+///
+/// As [`crash_migrate_nvm`].
+#[must_use]
+pub fn crash_migrate_nvm_logged(
+    cost: &CostModel,
+    memif_config: MemifConfig,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    crash: Option<CrashPlan>,
+) -> (CrashOutcome, Vec<String>) {
+    crash_migrate_nvm_inner(cost, memif_config, page_size, pages, count, crash, true)
+}
+
+fn crash_migrate_nvm_inner(
+    cost: &CostModel,
+    mut memif_config: MemifConfig,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    crash: Option<CrashPlan>,
+    log_events: bool,
+) -> (CrashOutcome, Vec<String>) {
+    memif_config.journal = true;
+    let mut sys = System::with_profile(nvm_topology(), cost.clone());
+    if log_events {
+        sys.enable_event_log();
+    }
+    let mut sim = Sim::new();
+    let space = sys.new_space();
+    let memif = Memif::open(&mut sys, space, memif_config).unwrap();
+    if let Some(plan) = crash {
+        sys.install_faults(
+            &mut sim,
+            FaultPlan {
+                crash: Some(plan),
+                ..FaultPlan::default()
+            },
+        );
+    }
+
+    // One region per request; even cookies start on DDR and migrate to
+    // NVM, odd cookies the other way.
+    let src_node = |cookie: usize| NodeId((cookie % 2) as u16);
+    let dst_node = |cookie: usize| NodeId(1 - (cookie % 2) as u16);
+    let regions: Vec<memif::VirtAddr> = (0..count)
+        .map(|i| sys.mmap(space, pages, page_size, src_node(i)).unwrap())
+        .collect();
+    let fill = |sys: &mut System, region: usize| {
+        let va = regions[region];
+        for p in 0..pages {
+            let page = va.offset(u64::from(p) * page_size.bytes());
+            let pa = sys.space(space).translate(page).unwrap();
+            let pattern = 1u8
+                .wrapping_add((region as u8).wrapping_mul(31))
+                .wrapping_add((p as u8).wrapping_mul(7));
+            sys.phys.fill(pa, page_size.bytes(), pattern);
+        }
+    };
+    for r in 0..count {
+        fill(&mut sys, r);
+    }
+
+    let spec_for = |cookie: usize| {
+        MoveSpec::migrate(regions[cookie], pages, page_size, dst_node(cookie))
+            .with_user_data(cookie as u64)
+    };
+    for cookie in 0..count {
+        // Alternate the two submission entry points so the `submit`
+        // crash hook is exercised on both.
+        if cookie % 2 == 0 {
+            memif.submit(&mut sys, &mut sim, spec_for(cookie)).unwrap();
+        } else {
+            memif
+                .submit_background(&mut sys, &mut sim, spec_for(cookie))
+                .unwrap();
+        }
+    }
+    sim.run(&mut sys);
+
+    let mut statuses: Vec<Option<MoveStatus>> = vec![None; count];
+    let mut resubmitted = 0usize;
+    let crashed = sys.crashed();
+    let mut recovery = None;
+    if crashed {
+        let report = sys.recover(&mut sim);
+        for &(_, status, cookie) in &report.statuses {
+            let slot = &mut statuses[cookie as usize];
+            assert!(
+                slot.is_none(),
+                "journal reported cookie {cookie} twice: {slot:?} then {status:?}"
+            );
+            *slot = Some(status);
+        }
+        recovery = Some(report);
+        // The WAL contract: everything without a durable `Done` is the
+        // application's to re-drive. Restore its (volatile) source data
+        // first, then resubmit. Requests that completed onto a volatile
+        // node are durably *moved* but their payload died with the
+        // crash — reconstructing volatile data after a reboot is the
+        // application's job, never the journal's promise — so restore
+        // those in place without re-driving.
+        for cookie in 0..count {
+            if statuses[cookie] == Some(MoveStatus::Done) {
+                let pa = sys.space(space).translate(regions[cookie]).unwrap();
+                let node = sys.node_of(pa).and_then(|n| sys.topo.node(n));
+                if node.is_some_and(|n| !n.kind.is_persistent()) {
+                    fill(&mut sys, cookie);
+                }
+                continue;
+            }
+            statuses[cookie] = None; // superseded by the re-drive below
+            fill(&mut sys, cookie);
+            memif.submit(&mut sys, &mut sim, spec_for(cookie)).unwrap();
+            resubmitted += 1;
+        }
+        sim.run(&mut sys);
+    }
+    while let Some(c) = memif.retrieve_completed(&mut sys).unwrap() {
+        let slot = &mut statuses[c.user_data as usize];
+        assert!(
+            slot.is_none(),
+            "cookie {} completed twice: {:?} then {:?}",
+            c.user_data,
+            slot,
+            c.status.0
+        );
+        *slot = Some(c.status.0);
+    }
+    assert!(!sys.crashed(), "a crash plan fires at most once");
+
+    let statuses: Vec<(u64, MoveStatus)> = statuses
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                i as u64,
+                s.unwrap_or_else(|| panic!("cookie {i} never terminal")),
+            )
+        })
+        .collect();
+    let mut placement = Vec::with_capacity(count);
+    let mut fingerprint = Vec::with_capacity(count * pages as usize);
+    for va in &regions {
+        let pa = sys.space(space).translate(*va).expect("region mapped");
+        placement.push(sys.node_of(pa).expect("on a known node"));
+        for p in 0..pages {
+            let page = va.offset(u64::from(p) * page_size.bytes());
+            let pa = sys.space(space).translate(page).expect("page mapped");
+            fingerprint.push(sys.phys.checksum(pa, page_size.bytes()));
+        }
+    }
+    let free_bytes = sys
+        .topo
+        .all_nodes()
+        .iter()
+        .map(|n| sys.alloc.free_bytes(n.id))
+        .collect();
+    let journal_records = sys.journal().len() as u64;
+    for rec in sys.journal().records() {
+        assert!(
+            rec.sealed.is_some(),
+            "journal record for request {} left unsealed",
+            rec.req.id
+        );
+    }
+    let outcome = CrashOutcome {
+        crashed,
+        recovery,
+        resubmitted,
+        statuses,
+        placement,
+        fingerprint,
+        free_bytes,
+        journal_records,
+        wall: sim.now().since(SimTime::ZERO),
+    };
+    let events = if log_events {
+        sys.take_event_log()
+    } else {
+        Vec::new()
+    };
+    (outcome, events)
 }
 
 /// Streams `count` migrations through Linux `mbind`, batching `batch`

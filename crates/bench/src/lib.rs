@@ -15,6 +15,7 @@
 //! | `e12_batching`    | E12: request batching + segment coalescing on the issue path |
 //! | `e13_issue_scaling` | E13: aggregate move rate vs issue shards |
 //! | `e14_policy`      | E14: hot/cold placement — none vs sync vs async daemon |
+//! | `e15_recovery`    | E15: journal overhead + crash/recover exactly-once convergence |
 //!
 //! Criterion micro-benches (`cargo bench`) cover the real data
 //! structures: the red–blue queue, gang lookup, DMA configuration, and
@@ -30,7 +31,8 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    bigfast_topology, probe_linux_once, probe_memif_once, stream_linux, stream_memif,
-    stream_memif_logged, stream_memif_with_faults, LoggedStream, ProbeResult, StreamResult,
+    bigfast_topology, crash_migrate_nvm, crash_migrate_nvm_logged, nvm_topology, probe_linux_once,
+    probe_memif_once, stream_linux, stream_memif, stream_memif_logged, stream_memif_nvm,
+    stream_memif_with_faults, CrashOutcome, LoggedStream, ProbeResult, StreamResult,
 };
 pub use table::{mbs, results_dir, Table};

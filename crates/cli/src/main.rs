@@ -15,6 +15,10 @@
 //!                   [--epoch-us 1000] [--max-inflight 4] [--seed 42]
 //!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
 //!                   [--trace-events PATH] [--json true]
+//! memifctl recover  [--crash-point none|submit|post-launch|mid-chain|pre-retire|post-retire]
+//!                   [--crash-nth N] [--pages 8] [--count 12] [--page-size 4k]
+//!                   [--batch-max 4] [--no-coalesce true] [--issue-shards S]
+//!                   [--trace-events PATH] [--json true]
 //! memifctl replay   --from PATH
 //! memifctl stream   [--kernel triad|add|pgain|all] [--placement memif|linux|both]
 //!                   [--input-mib 64]
@@ -24,9 +28,11 @@
 mod args;
 
 use args::Args;
-use memif::{Context, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System};
+use memif::{
+    Context, CrashPlan, CrashPoint, Memif, MemifConfig, MoveSpec, NodeId, PageSize, Sim, System,
+};
 use memif_baseline::{run_migspeed, MigspeedConfig};
-use memif_bench::{stream_memif_with_faults, Table};
+use memif_bench::{crash_migrate_nvm_logged, stream_memif_with_faults, Table};
 use memif_hwsim::{CostModel, Topology};
 use memif_policy::{run_scenario, Mode, PolicyConfig, ScenarioConfig};
 use memif_runtime::{Placement, StreamConfig, StreamRuntime};
@@ -43,6 +49,7 @@ fn main() {
         Some("move") => do_move(&args),
         Some("stats") => stats(&args),
         Some("policy") => policy(&args),
+        Some("recover") => recover(&args),
         Some("replay") => replay(&args),
         Some("stream") => stream(&args),
         Some("timeline") => timeline(&args),
@@ -66,6 +73,7 @@ commands:
   move       stream memif move requests and report throughput/latency
   stats      run a move scenario and dump the full driver counter set
   policy     run the hot/cold placement daemon over a phased workload
+  recover    crash a journaled DDR<->NVM run, recover, and re-drive it
   replay     re-run a recorded trace and verify it is bit-identical
   stream     run a Table 4 streaming workload on the mini runtime
   timeline   trace a short run across the driver's execution contexts
@@ -110,9 +118,20 @@ disables moves entirely. The phased workload is shaped by --regions,
 --pages, --phases, --hot, --carry, --ticks, and --seed; chaos flags
 apply as in move. `cargo run --bin e14_policy` compares all three.
 
-machine-readable stats (stats/policy): --json true prints the run's
-counters as a single stable-key JSON object instead of a table, for
-scripting and CI assertions.
+crash recovery (recover): runs a journaled migration stream that
+ping-pongs between DDR and the persistent NVM node, optionally halting
+the world at a deterministic lifecycle point (--crash-point, fired on
+its --crash-nth crossing), then reboots via the write-ahead move
+journal and re-drives every request to exactly one terminal status:
+  memifctl recover --crash-point mid-chain --crash-nth 2
+--crash-point none (the default) runs the uncrashed reference. The
+journal counters also appear in `memifctl stats --json` under the
+stable keys journal_records, recovered_requests, rolled_back, and
+redriven.
+
+machine-readable stats (stats/policy/recover): --json true prints the
+run's counters as a single stable-key JSON object instead of a table,
+for scripting and CI assertions.
 
 event traces (move/policy): --trace-events <path> records the run's
 typed event log as JSON lines (one `#!` header, one `#=`
@@ -122,7 +141,9 @@ terminal status byte-for-byte:
   memifctl move --fault-seed 7 --dma-error-rate 1e-3 --trace-events t.jsonl
   memifctl replay --from t.jsonl
 Policy traces replay the same way, including the daemon's epoch hooks
-and every policy move's terminal status.
+and every policy move's terminal status. Recover traces span the
+crash, the reboot ('recover' record), and the post-crash re-drive, and
+must also replay byte-for-byte.
 
 run `memifctl <command>` with defaults to see each report.
 ";
@@ -261,7 +282,7 @@ fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
         desc_exhaust_rate: args.get_or("desc-exhaust-rate", 0.0f64)?,
         ..memif::FaultPlan::default()
     };
-    Ok(MoveScenario {
+    let s = MoveScenario {
         cost,
         config,
         kind,
@@ -270,7 +291,20 @@ fn move_scenario(args: &Args) -> Result<MoveScenario, String> {
         count: args.get_or("count", 64usize)?,
         window: args.get_or("window", 8usize)?,
         plan: (!plan.is_noop()).then_some(plan),
-    })
+    };
+    // Zeroes here would panic deep in the harness; catching them keeps
+    // a corrupt or hand-edited trace header a clean error (replay
+    // rebuilds its scenario through this same path).
+    for (flag, value) in [
+        ("pages", u64::from(s.pages)),
+        ("count", s.count as u64),
+        ("window", s.window as u64),
+    ] {
+        if value == 0 {
+            return Err(format!("--{flag}: must be at least 1"));
+        }
+    }
+    Ok(s)
 }
 
 /// The `#!` trace header: every flag replay needs to rebuild the run.
@@ -453,6 +487,10 @@ fn stats(args: &Args) -> Result<(), String> {
         ("descriptor_writes_saved", st.descriptor_writes_saved),
         ("requests_deferred", st.requests_deferred),
         ("cross_shard_deferred", st.cross_shard_deferred),
+        ("journal_records", st.journal_records),
+        ("recovered_requests", st.recovered_requests),
+        ("rolled_back", st.rolled_back),
+        ("redriven", st.redriven),
         ("issue_cpu_ns", issue_cpu.as_ns()),
     ];
     if json {
@@ -505,6 +543,16 @@ fn policy_scenario(args: &Args) -> Result<(CostModel, ScenarioConfig), String> {
         faults: (!plan.is_noop()).then_some(plan),
         ..ScenarioConfig::default()
     };
+    for (flag, value) in [
+        ("regions", cfg.regions as u64),
+        ("pages", u64::from(cfg.pages_per_region)),
+        ("phases", cfg.phases as u64),
+        ("ticks", u64::from(cfg.ticks_per_phase)),
+    ] {
+        if value == 0 {
+            return Err(format!("--{flag}: must be at least 1"));
+        }
+    }
     Ok((cost, cfg))
 }
 
@@ -624,6 +672,191 @@ fn policy(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Everything a `recover` run (or its replay) needs: a journaled
+/// DDR<->NVM migration stream plus an optional deterministic crash.
+struct RecoverScenario {
+    cost: CostModel,
+    config: MemifConfig,
+    page_size: PageSize,
+    pages: u32,
+    count: usize,
+    crash: Option<CrashPlan>,
+}
+
+fn recover_scenario(args: &Args) -> Result<RecoverScenario, String> {
+    let cost = cost_profile(args)?;
+    let batch_max = args.get_or("batch-max", 4usize)?;
+    let no_coalesce = args.get_or("no-coalesce", false)?;
+    let issue_shards = args.get_or("issue-shards", 1usize)?;
+    if issue_shards == 0 || issue_shards > 64 {
+        return Err(format!(
+            "--issue-shards: {issue_shards} out of range (1..=64)"
+        ));
+    }
+    let config = MemifConfig {
+        journal: true,
+        batch_max,
+        coalesce: batch_max > 1 && !no_coalesce,
+        issue_shards,
+        ..MemifConfig::default()
+    };
+    let crash = match args.get("crash-point") {
+        None | Some("none") => None,
+        Some(name) => {
+            let point = CrashPoint::parse(name).ok_or_else(|| {
+                let known: Vec<&str> = CrashPoint::ALL.iter().map(|p| p.as_str()).collect();
+                format!(
+                    "--crash-point: unknown point '{name}' (none|{})",
+                    known.join("|")
+                )
+            })?;
+            Some(CrashPlan::at(point, args.get_or("crash-nth", 1u64)?))
+        }
+    };
+    let s = RecoverScenario {
+        cost,
+        config,
+        page_size: args.page_size(PageSize::Small4K)?,
+        pages: args.get_or("pages", 8u32)?,
+        count: args.get_or("count", 12usize)?,
+        crash,
+    };
+    for (flag, value) in [
+        ("pages", u64::from(s.pages)),
+        ("count", s.count as u64),
+        ("batch-max", batch_max as u64),
+    ] {
+        if value == 0 {
+            return Err(format!("--{flag}: must be at least 1"));
+        }
+    }
+    Ok(s)
+}
+
+/// The `#!` header of a recover trace: every flag replay needs to
+/// rebuild the run.
+fn recover_trace_header(args: &Args, s: &RecoverScenario) -> String {
+    format!(
+        "#! recover crash-point={} crash-nth={} page-size={} pages={} count={} batch-max={} \
+         no-coalesce={} issue-shards={} profile={}",
+        s.crash.map_or("none", |c| c.point.as_str()),
+        s.crash.map_or(1, |c| c.nth),
+        match s.page_size {
+            PageSize::Small4K => "4k",
+            PageSize::Medium64K => "64k",
+            PageSize::Large2M => "2m",
+        },
+        s.pages,
+        s.count,
+        s.config.batch_max,
+        s.config.batch_max > 1 && !s.config.coalesce,
+        s.config.issue_shards,
+        args.get("profile").unwrap_or("keystone"),
+    )
+}
+
+/// Crashes a journaled DDR<->NVM migration stream at a deterministic
+/// lifecycle point, reboots through the write-ahead move journal, and
+/// re-drives the survivors — then reports how every request reached
+/// exactly one terminal status.
+fn recover(args: &Args) -> Result<(), String> {
+    let s = recover_scenario(args)?;
+    let (r, events) = crash_migrate_nvm_logged(
+        &s.cost,
+        s.config.clone(),
+        s.page_size,
+        s.pages,
+        s.count,
+        s.crash,
+    );
+
+    if let Some(path) = args.get("trace-events") {
+        let mut out = String::new();
+        out.push_str(&recover_trace_header(args, &s));
+        out.push('\n');
+        for line in &events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for (cookie, status) in &r.statuses {
+            out.push_str(&format!("#= {cookie} {status:?}\n"));
+        }
+        std::fs::write(path, out).map_err(|e| format!("--trace-events: {path}: {e}"))?;
+        println!(
+            "trace: {} events + {} terminal statuses -> {path}",
+            events.len(),
+            r.statuses.len()
+        );
+    }
+
+    let rep = r.recovery.as_ref();
+    if args.get_or("json", false)? {
+        println!(
+            "{}",
+            json_object(&[
+                ("crashed", u64::from(r.crashed)),
+                ("journal_records", r.journal_records),
+                (
+                    "recovered_requests",
+                    rep.map_or(0, |rep| rep.recovered_requests)
+                ),
+                ("rolled_back", rep.map_or(0, |rep| rep.rolled_back)),
+                ("redriven", rep.map_or(0, |rep| rep.redriven)),
+                ("resubmitted", r.resubmitted as u64),
+                ("wall_ns", r.wall.as_ns()),
+            ])
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{} x {} {} pages, DDR<->NVM ping-pong, journal on (batch-max {}{}, {} shard{})",
+        s.count,
+        s.pages,
+        s.page_size,
+        s.config.batch_max,
+        if s.config.coalesce { " + coalesce" } else { "" },
+        s.config.issue_shards,
+        if s.config.issue_shards == 1 { "" } else { "s" },
+    );
+    match (s.crash, rep) {
+        (Some(plan), Some(rep)) if r.crashed => {
+            println!(
+                "crash: {} fired on crossing {} — volatile state lost, {} journal record{} survived",
+                plan.point.as_str(),
+                plan.nth,
+                rep.journal_records,
+                if rep.journal_records == 1 { "" } else { "s" },
+            );
+            println!(
+                "recovery: {} in-flight at the crash ({} rolled back, {} rolled forward); \
+                 app re-submitted {}",
+                rep.recovered_requests, rep.rolled_back, rep.redriven, r.resubmitted,
+            );
+        }
+        (Some(plan), _) => println!(
+            "crash: {} never crossed {} time{} — plan did not fire",
+            plan.point.as_str(),
+            plan.nth,
+            if plan.nth == 1 { "" } else { "s" },
+        ),
+        _ => println!("no crash requested: uncrashed reference run"),
+    }
+    let done = r
+        .statuses
+        .iter()
+        .filter(|(_, st)| *st == memif::MoveStatus::Done)
+        .count();
+    println!(
+        "converged: {done}/{} requests Done exactly once, {} journal records all sealed, \
+         {:.1} us simulated",
+        s.count,
+        r.journal_records,
+        r.wall.as_ns() as f64 / 1e3,
+    );
+    Ok(())
+}
+
 /// Re-runs a `--trace-events` recording and verifies the new run is
 /// byte-identical: same event log, same terminal status per request.
 fn replay(args: &Args) -> Result<(), String> {
@@ -690,6 +923,25 @@ fn replay(args: &Args) -> Result<(), String> {
             cfg.log_events = true;
             let r = run_scenario(&cost, &cfg);
             (r.events, r.statuses)
+        }
+        "recover" => {
+            reject_override("crash-point", "none")?;
+            reject_override("crash-nth", "1")?;
+            let s = recover_scenario(&Args::from_pairs("recover", pairs))?;
+            let (r, ev) = crash_migrate_nvm_logged(
+                &s.cost,
+                s.config.clone(),
+                s.page_size,
+                s.pages,
+                s.count,
+                s.crash,
+            );
+            let statuses = r
+                .statuses
+                .iter()
+                .map(|(cookie, st)| (*cookie, format!("{st:?}")))
+                .collect();
+            (ev, statuses)
         }
         other => return Err(format!("cannot replay '{other}' traces")),
     };

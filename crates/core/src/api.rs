@@ -27,7 +27,7 @@
 //! assert!(done.status.is_ok());
 //! ```
 
-use memif_hwsim::{Context, Sim, SimDuration};
+use memif_hwsim::{Context, CrashPoint, Sim, SimDuration};
 use memif_lockfree::{Color, MovReq, MoveKind, MoveStatus, QueueId};
 use memif_mm::{AccessKind, Fault, PageSize, VirtAddr};
 
@@ -174,7 +174,13 @@ impl Memif {
     ///
     /// Propagates region-construction failures.
     pub fn open(sys: &mut System, owner: SpaceId, config: MemifConfig) -> Result<Self, MemifError> {
+        let journaled = config.journal.then(|| config.clone());
         let device = sys.open_device(owner, config)?;
+        if let Some(cfg) = journaled {
+            // Durable device metadata: recovery re-opens the instance at
+            // this id so journal records resolve after a crash.
+            sys.journal.record_open(device, owner, &cfg);
+        }
         Ok(Memif { device, owner })
     }
 
@@ -226,6 +232,13 @@ impl Memif {
     ) -> Result<(ReqId, SimDuration), MemifError> {
         let (id, shard, color) = self.stage(sys, sim, spec)?;
         let mut cpu = sys.cost.queue_op;
+
+        // Crash point: staged but never flushed or kicked — the request
+        // was not journaled and vanishes with the volatile queues; the
+        // write-ahead contract makes it the application's to resubmit.
+        if sys.maybe_crash(sim, CrashPoint::Submit) {
+            return Ok((ReqId(id), cpu));
+        }
 
         if color == Color::Blue {
             // This thread is the flusher (§4.4 pseudo-code) — for its
@@ -285,6 +298,10 @@ impl Memif {
     ) -> Result<(ReqId, SimDuration), MemifError> {
         let (id, shard, _color) = self.stage(sys, sim, spec)?;
         let cpu = sys.cost.queue_op;
+        // Crash point: staged but the worker never kicked (see submit).
+        if sys.maybe_crash(sim, CrashPoint::Submit) {
+            return Ok((ReqId(id), cpu));
+        }
         sys.meter.charge(Context::KernelThread, cpu);
         sim.schedule_after(
             cpu,

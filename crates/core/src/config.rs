@@ -93,6 +93,12 @@ pub struct MemifConfig {
     /// span index catches the residue. 1 (default) reproduces the
     /// single-queue, single-worker issue path exactly.
     pub issue_shards: usize,
+    /// Write-ahead journal every issued move to persistent media so a
+    /// crash mid-move is recoverable by [`crate::System::recover`].
+    /// Each issue pays one `journal_write` from the cost model. Off by
+    /// default: moves are volatile, exactly as the paper's prototype,
+    /// and the hot path pays nothing.
+    pub journal: bool,
 }
 
 impl Default for MemifConfig {
@@ -112,6 +118,7 @@ impl Default for MemifConfig {
             batch_max: 1,
             coalesce: false,
             issue_shards: 1,
+            journal: false,
         }
     }
 }
@@ -155,5 +162,11 @@ mod tests {
             c.issue_shards, 1,
             "one staging queue, one kernel worker, as the seed"
         );
+    }
+
+    #[test]
+    fn journal_default_preserves_seed_behaviour() {
+        let c = MemifConfig::default();
+        assert!(!c.journal, "moves are volatile by default, as the seed");
     }
 }

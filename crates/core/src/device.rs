@@ -101,6 +101,18 @@ pub struct DriverStats {
     /// region-affinity routing could not co-locate, caught by the
     /// cross-shard span index. Always 0 at `issue_shards = 1`.
     pub cross_shard_deferred: u64,
+    /// Write-ahead journal records appended for this device's requests
+    /// (0 unless the device was opened with `journal = true`).
+    pub journal_records: u64,
+    /// Journaled requests that were in flight at a crash and terminated
+    /// by [`crate::System::recover`] (`rolled_back + redriven`).
+    pub recovered_requests: u64,
+    /// Recovered requests rolled back to their original mapping (sealed
+    /// `Aborted`: the payload had not reached the destination).
+    pub rolled_back: u64,
+    /// Recovered requests rolled forward to completion (sealed `Done`:
+    /// the payload was already in place, only the release was lost).
+    pub redriven: u64,
     /// Driver cost per phase (Figure 6 columns).
     pub phases: PhaseBreakdown,
 }

@@ -2,7 +2,7 @@
 //! on the interrupt path or the kernel thread's polling path (§5.4).
 
 use memif_hwsim::dma::{DmaOutcome, TransferId};
-use memif_hwsim::{Context, Phase, Sim, SimDuration, SimTime};
+use memif_hwsim::{Context, CrashPoint, Phase, Sim, SimDuration, SimTime};
 use memif_lockfree::{FailReason, MovReq, MoveStatus, QueueId, SlotIndex};
 
 use crate::config::RaceMode;
@@ -75,6 +75,7 @@ pub(crate) fn on_dma_complete(
                 continue; // aborted mid-flight
             };
             i.batch_leader = None;
+            let rid = i.req.id;
             let own_bytes: u64 = i.segments.iter().map(|s| s.bytes).sum();
             let finished = i.chain_offset + own_bytes <= bytes_done;
             i.chain_offset = 0;
@@ -87,6 +88,7 @@ pub(crate) fn on_dma_complete(
                 for seg in &segments {
                     sys.phys.copy(seg.src, seg.dst, seg.bytes);
                 }
+                sys.journal.copy_done(id, rid);
                 sim.schedule_after(
                     irq_cost,
                     SimEvent::IrqRelease {
@@ -97,6 +99,7 @@ pub(crate) fn on_dma_complete(
             } else {
                 crate::driver::exec::handle_dma_failure(sys, sim, id, t, FailReason::DmaError);
             }
+            sys.journal.set_leader(id, rid, None);
         }
         return;
     }
@@ -106,21 +109,30 @@ pub(crate) fn on_dma_complete(
     // surviving member's.
     let member_tokens = std::mem::take(&mut dev_mut(sys, id).inflight[index].batch_members);
     let segments = dev(sys, id).inflight[index].segments.clone();
+    let leader_req = dev(sys, id).inflight[index].req.id;
     for seg in &segments {
         sys.phys.copy(seg.src, seg.dst, seg.bytes);
     }
+    sys.journal.copy_done(id, leader_req);
+    // Crash point: the leader's bytes are applied and journaled
+    // CopyDone, the members' are not — the asymmetric mid-chain state
+    // recovery must untangle (leader rolls forward, members roll back).
+    if !member_tokens.is_empty() && sys.maybe_crash(sim, CrashPoint::MidChain) {
+        return;
+    }
     for t in &member_tokens {
-        let Some(segs) = dev(sys, id)
+        let Some((segs, member_req)) = dev(sys, id)
             .inflight
             .iter()
             .find(|i| i.token == *t)
-            .map(|i| i.segments.clone())
+            .map(|i| (i.segments.clone(), i.req.id))
         else {
             continue; // aborted mid-flight; its remap was rolled back
         };
         for seg in &segs {
             sys.phys.copy(seg.src, seg.dst, seg.bytes);
         }
+        sys.journal.copy_done(id, member_req);
     }
     let held_tc = dev_mut(sys, id).inflight[index].tc.take();
     if sys.dma.complete(transfer, outcome) {
@@ -229,6 +241,10 @@ pub(crate) fn irq_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId,
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the completion window
     };
+    // Crash point: copy applied, release not yet run (retire site 1).
+    if sys.maybe_crash(sim, CrashPoint::PreRetire) {
+        return;
+    }
     let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
     let shard = inflight.shard;
@@ -248,6 +264,8 @@ pub(crate) fn irq_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId,
         SimEvent::KthreadRun { device: id, shard },
     );
     crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost + wakeup);
+    // Crash point: the request retired (journal sealed) an instant ago.
+    sys.maybe_crash(sim, CrashPoint::PostRetire);
 }
 
 /// Release + Notify on the polling path, once the worker's CPU frees
@@ -259,6 +277,10 @@ pub(crate) fn poll_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the completion window
     };
+    // Crash point: copy applied, release not yet run (retire site 2).
+    if sys.maybe_crash(sim, CrashPoint::PreRetire) {
+        return;
+    }
     let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
     let shard = inflight.shard;
@@ -277,6 +299,8 @@ pub(crate) fn poll_release(sys: &mut System, sim: &mut Sim<System>, id: DeviceId
     device.shards[shard].busy_until = device.shards[shard].busy_until.max(busy_until);
     sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id, shard });
     crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost);
+    // Crash point: the request retired (journal sealed) an instant ago.
+    sys.maybe_crash(sim, CrashPoint::PostRetire);
 }
 
 /// Op 4 + Op 5 for one completed request. Returns the CPU cost.
@@ -422,8 +446,19 @@ pub(crate) fn notify(
     ctx: Context,
 ) -> SimDuration {
     req.status = status;
-    let cost = sys.cost.queue_op;
+    let mut cost = sys.cost.queue_op;
     sys.meter.charge(ctx, cost);
+
+    // Seal the journal record (journaling devices only): the terminal
+    // status becomes durable before the completion is posted, so a
+    // crash from here on only re-reports it. Every retire site funnels
+    // through this one seal; the journal debug_asserts it fires at most
+    // once per request.
+    if sys.journal.seal(id, req.id, status) {
+        let seal_cost = sys.cost.journal_write;
+        sys.meter.charge(ctx, seal_cost);
+        cost += seal_cost;
+    }
 
     let now = sim.now();
     let device = dev_mut(sys, id);
@@ -438,7 +473,17 @@ pub(crate) fn notify(
         .expect("slot owned by driver");
     device.stats.phases.add(Phase::Notify, cost);
 
-    let submitted_at = device.submit_times.remove(&req.id).unwrap_or(now);
+    // Retire-site idempotence audit: the first notification consumes the
+    // submit timestamp, so a second pass for the same request means a
+    // retire site re-entered — site 4/5 teardowns and the three release
+    // paths must be mutually exclusive per request.
+    let submitted_at = device.submit_times.remove(&req.id);
+    debug_assert!(
+        submitted_at.is_some(),
+        "request {} notified twice (retire-site re-entry)",
+        req.id
+    );
+    let submitted_at = submitted_at.unwrap_or(now);
     device.log.push(CompletionRecord {
         req_id: req.id,
         kind: req.kind,
@@ -462,4 +507,91 @@ pub(crate) fn notify(
         sim.schedule_after(SimDuration::ZERO, waker);
     }
     cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Memif, MoveSpec};
+    use crate::config::MemifConfig;
+    use memif_hwsim::NodeId;
+    use memif_mm::PageSize;
+
+    /// Runs one migrate to retirement and returns everything needed to
+    /// re-enter the retire tail for the same request.
+    fn retire_once(journal: bool) -> (System, Sim<System>, DeviceId, MovReq) {
+        let mut sys = System::keystone_ii();
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let memif = Memif::open(
+            &mut sys,
+            space,
+            MemifConfig {
+                journal,
+                ..MemifConfig::default()
+            },
+        )
+        .unwrap();
+        let va = sys.mmap(space, 4, PageSize::Small4K, NodeId(0)).unwrap();
+        let (id, _) = memif
+            .submit(
+                &mut sys,
+                &mut sim,
+                MoveSpec::migrate(va, 4, PageSize::Small4K, NodeId(1)),
+            )
+            .unwrap();
+        sim.run(&mut sys);
+        let rec = *dev(&sys, memif.device())
+            .log
+            .last()
+            .expect("request retired");
+        assert_eq!(rec.req_id, id.0);
+        assert_eq!(rec.status, MoveStatus::Done);
+        let req = MovReq {
+            id: id.0,
+            nr_pages: 4,
+            page_shift: 12,
+            ..MovReq::default()
+        };
+        (sys, sim, memif.device(), req)
+    }
+
+    /// Retire-site idempotence audit, journaled flavor: re-driving the
+    /// retire tail after the record sealed trips the journal guard
+    /// before anything else mutates.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-sealed request")]
+    fn double_driving_a_retire_site_trips_the_seal_guard() {
+        let (mut sys, mut sim, id, req) = retire_once(true);
+        notify(
+            &mut sys,
+            &mut sim,
+            id,
+            0,
+            req,
+            MoveStatus::Done,
+            None,
+            Context::KernelThread,
+        );
+    }
+
+    /// Same audit without a journal: the consumed submit timestamp is
+    /// the remaining witness that a retire path ran twice.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "notified twice (retire-site re-entry)")]
+    fn double_notify_without_journal_trips_the_submit_time_guard() {
+        let (mut sys, mut sim, id, req) = retire_once(false);
+        notify(
+            &mut sys,
+            &mut sim,
+            id,
+            0,
+            req,
+            MoveStatus::Done,
+            None,
+            Context::KernelThread,
+        );
+    }
 }

@@ -137,6 +137,7 @@ pub(crate) fn execute_attempt(
                 if fallback {
                     let token =
                         register_inflight(sys, id, req, &deq, None, plan, false, attempt, shard);
+                    elapsed += journal_issue(sys, id, token, ctx);
                     sim.schedule_after(
                         elapsed,
                         SimEvent::DegradeOrFail {
@@ -220,6 +221,7 @@ pub(crate) fn execute_attempt(
         attempt,
         shard,
     );
+    elapsed += journal_issue(sys, id, token, ctx);
 
     sys.trace_emit(
         sim.now(),
@@ -231,6 +233,47 @@ pub(crate) fn execute_attempt(
     // The transfer begins once the CPU-side work above has elapsed.
     sim.schedule_after(elapsed, SimEvent::Launch { device: id, token });
     (elapsed, ExecOutcome::Launched)
+}
+
+/// Appends the issued request's write-ahead record. No-op (and free)
+/// unless the device was opened with `journal = true`; journaling
+/// devices pay one `journal_write` per issue, returned here so the
+/// caller folds it into the issue path's elapsed time. Called after the
+/// in-flight entry is fully linked (batch offsets and leader set), so
+/// the record captures the final chain linkage.
+fn journal_issue(sys: &mut System, id: DeviceId, token: u64, ctx: Context) -> SimDuration {
+    let record = {
+        let device = dev_mut(sys, id);
+        if !device.config.journal {
+            return SimDuration::ZERO;
+        }
+        let owner = device.owner;
+        let Some(i) = device.inflight.iter().find(|i| i.token == token) else {
+            return SimDuration::ZERO;
+        };
+        device.stats.journal_records += 1;
+        crate::journal::JournalRecord {
+            device: id,
+            space: owner,
+            token,
+            req: i.req,
+            shard: i.shard,
+            batch_leader: i.batch_leader,
+            page_size: i.page_size,
+            pages: i
+                .pages
+                .iter()
+                .map(crate::journal::JournalPage::of_plan)
+                .collect(),
+            segments: i.segments.clone(),
+            milestone: crate::journal::JournalMilestone::Issued,
+            sealed: None,
+        }
+    };
+    sys.journal.append(record);
+    let cost = sys.cost.journal_write;
+    sys.meter.charge(ctx, cost);
+    cost
 }
 
 /// Registers a prepared request with the device and returns its token.
@@ -443,6 +486,9 @@ pub(crate) fn execute_batch(
             entry.batch_leader = Some(leader_token);
             member_tokens.push(token);
         }
+        // Journal after the chain linkage above is final, so the record
+        // carries the member's leader token from the start.
+        elapsed += journal_issue(sys, id, token, ctx);
     }
     dev_mut(sys, id)
         .inflight
@@ -588,6 +634,10 @@ pub(crate) fn launch(
             .expect("still inflight")
             .watchdog = Some(wd);
     }
+
+    // Crash point: the transfer is on the engine and the journal record
+    // (if any) is durable — power fails right after the DMA starts.
+    sys.maybe_crash(sim, memif_hwsim::CrashPoint::PostLaunch);
 }
 
 /// The per-request watchdog: declares the transfer lost if it is still
@@ -645,8 +695,13 @@ pub(crate) fn handle_dma_failure(
         None => return,
     };
     for m in &members {
+        let mut rid = None;
         if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *m) {
             i.batch_leader = None;
+            rid = Some(i.req.id);
+        }
+        if let Some(rid) = rid {
+            sys.journal.set_leader(id, rid, None);
         }
     }
     fail_one(sys, sim, id, token, reason);
@@ -824,6 +879,9 @@ pub(crate) fn degrade_or_fail(
         (inflight.req.id, inflight.shard)
     };
     sys.meter.attribute_worker(shard, copy_cost);
+    // The payload is at the destination; a crash from here on rolls the
+    // move forward instead of back.
+    sys.journal.copy_done(id, req_id);
     sys.trace_emit(
         sim.now(),
         copy_cost,
@@ -852,6 +910,10 @@ pub(crate) fn degraded_release(
     let Some(index) = dev(sys, id).inflight.iter().position(|i| i.token == token) else {
         return; // aborted in the copy window
     };
+    // Crash point: copy applied, release not yet run (retire site 3).
+    if sys.maybe_crash(sim, memif_hwsim::CrashPoint::PreRetire) {
+        return;
+    }
     let inflight = dev_mut(sys, id).take_inflight(index);
     let req_id = inflight.req.id;
     let shard = inflight.shard;
@@ -869,6 +931,8 @@ pub(crate) fn degraded_release(
     device.shards[shard].busy_until = device.shards[shard].busy_until.max(busy_until);
     sim.schedule_after(release_cost, SimEvent::KthreadRun { device: id, shard });
     crate::driver::wake_deferred_peers(sys, sim, id, shard, release_cost);
+    // Crash point: the request retired (journal sealed) an instant ago.
+    sys.maybe_crash(sim, memif_hwsim::CrashPoint::PostRetire);
 }
 
 /// Frees the transfer-controller slot a retired transfer held on channel

@@ -80,8 +80,16 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
             let cfg = inflight.cfg.take();
             let interrupt_mode = inflight.interrupt_mode;
             for m in &members {
+                let mut rid = None;
                 if let Some(i) = dev_mut(sys, id).inflight.iter_mut().find(|i| i.token == *m) {
                     i.batch_leader = Some(heir_token);
+                    rid = Some(i.req.id);
+                }
+                // Keep the journal's chain linkage in step with the
+                // promotion, so a crash after it still reconstructs the
+                // surviving chain correctly.
+                if let Some(rid) = rid {
+                    sys.journal.set_leader(id, rid, Some(heir_token));
                 }
             }
             let heir = dev_mut(sys, id)
@@ -94,6 +102,7 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
             heir.transfer = transfer;
             heir.tc = tc;
             heir.interrupt_mode = interrupt_mode;
+            let heir_req = heir.req.id;
             let relaunch = cfg.is_some() && transfer.is_none();
             if relaunch {
                 // The batch had not launched yet (the pending Launch —
@@ -110,6 +119,7 @@ pub(crate) fn abort_inflight(sys: &mut System, sim: &mut Sim<System>, id: Device
                     },
                 );
             }
+            sys.journal.set_leader(id, heir_req, None);
         }
         // No surviving member: fall through and abort like a solo.
     } else if let Some(leader) = inflight.batch_leader.take() {

@@ -337,6 +337,11 @@ impl EventWorld for System {
     /// interpreted. Events against a closed device are dropped here
     /// (drivers may race a close with their own stale continuations).
     fn dispatch(&mut self, sim: &mut Sim<System>, event: SimEvent) {
+        if self.crashed {
+            // The world has halted: volatile events die undelivered (and
+            // unlogged — they never happened as far as the record shows).
+            return;
+        }
         if self.event_log.is_some() {
             let line = event.to_record(sim.now());
             if let Some(log) = &mut self.event_log {

@@ -39,6 +39,8 @@ mod device;
 mod driver;
 mod error;
 mod event;
+mod journal;
+mod recover;
 mod system;
 
 pub use api::{poll_any, Completion, CompletionStatus, Memif, MoveSpec, ReqId};
@@ -47,11 +49,13 @@ pub use device::{CompletionRecord, DeviceId, DriverStats, MemifDevice};
 pub use driver::fault::handle_write_fault;
 pub use error::MemifError;
 pub use event::{HookId, SimEvent};
+pub use journal::{JournalMilestone, JournalPage, JournalRecord, MoveJournal, RecoveryReport};
 pub use system::{Resources, SpaceId, System, TraceEntry};
 
 // Re-export the building blocks user code needs at the API boundary.
 pub use memif_hwsim::{
-    Brownout, Context, FaultPlan, FaultStats, NodeId, Phase, Sim, SimDuration, SimTime,
+    Brownout, Context, CrashPlan, CrashPoint, FaultPlan, FaultStats, NodeId, Phase, Sim,
+    SimDuration, SimTime,
 };
 pub use memif_lockfree::{FailReason, MoveKind, MoveStatus};
 pub use memif_mm::{PageSize, VirtAddr};

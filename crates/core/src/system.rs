@@ -42,6 +42,10 @@ pub struct Resources {
     /// One resource per transfer-controller channel; `tcs[0]` is the
     /// engine-wide resource of the single-channel (paper) configuration.
     tcs: Vec<ResourceId>,
+    /// Per-node *write* pipe, present only for NVM-like nodes whose
+    /// writes are slower than reads. `None` elsewhere, so machines
+    /// without an NVM bank are resource-for-resource unchanged.
+    nvm_writes: Vec<Option<ResourceId>>,
 }
 
 impl Resources {
@@ -49,6 +53,12 @@ impl Resources {
     #[must_use]
     pub fn node(&self, id: NodeId) -> ResourceId {
         self.nodes[id.0 as usize]
+    }
+
+    /// The write-side pipe of an NVM node, if the node has one.
+    #[must_use]
+    pub fn node_write(&self, id: NodeId) -> Option<ResourceId> {
+        self.nvm_writes.get(id.0 as usize).copied().flatten()
     }
 
     /// The DMA engine's aggregate-bandwidth resource (transfer-controller
@@ -105,6 +115,11 @@ pub struct System {
     pub(crate) hooks: crate::event::Hooks,
     /// JSON-lines record of every dispatched event, when enabled.
     pub(crate) event_log: Option<Vec<String>>,
+    /// The persistent write-ahead move journal (crash recovery).
+    pub(crate) journal: crate::journal::MoveJournal,
+    /// Set by a crash point firing: the world has halted; every further
+    /// event is dropped until [`System::recover`] runs.
+    pub(crate) crashed: bool,
 }
 
 impl System {
@@ -133,6 +148,20 @@ impl System {
             .iter()
             .map(|n| flows.add_resource(n.name.clone(), n.bandwidth_gbps))
             .collect();
+        // NVM nodes get a second, slower write-side pipe; DMA routes
+        // targeting them are constrained by it (asymmetric read/write
+        // cost). Machines without an NVM bank add no extra resources.
+        let nvm_writes = topo
+            .all_nodes()
+            .iter()
+            .map(|n| {
+                if n.kind.is_persistent() {
+                    Some(flows.add_resource(format!("{}-wr", n.name), cost.nvm_write_bw_gbps))
+                } else {
+                    None
+                }
+            })
+            .collect();
         // Transfer-controller channels. Channel 0 keeps the historical
         // "dma-engine" name (and resource id), so a one-channel machine
         // is resource-for-resource identical to the pre-TC layout.
@@ -157,13 +186,19 @@ impl System {
             flows,
             dma: DmaEngine::new(),
             meter: UsageMeter::new(),
-            resources: Resources { nodes, tcs },
+            resources: Resources {
+                nodes,
+                tcs,
+                nvm_writes,
+            },
             devices: Vec::new(),
             spaces: Vec::new(),
             trace: None,
             tc,
             hooks: crate::event::Hooks::default(),
             event_log: None,
+            journal: crate::journal::MoveJournal::default(),
+            crashed: false,
         }
     }
 
@@ -219,6 +254,55 @@ impl System {
     #[must_use]
     pub fn chaos_enabled(&self) -> bool {
         self.dma.injector().is_some()
+    }
+
+    /// True after a crash point fired: the world is halted and only
+    /// [`System::recover`] makes it usable again.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The persistent move journal (diagnostics, recovery tests).
+    #[must_use]
+    pub fn journal(&self) -> &crate::journal::MoveJournal {
+        &self.journal
+    }
+
+    /// Rolls the installed fault plan's crash point at `point` and, if
+    /// it fires, halts the world. Returns `true` exactly when the crash
+    /// fired *now*; call sites must stop their work immediately. Free
+    /// when no fault plan is installed.
+    pub(crate) fn maybe_crash(
+        &mut self,
+        sim: &mut Sim<System>,
+        point: memif_hwsim::CrashPoint,
+    ) -> bool {
+        if self.crashed {
+            return true;
+        }
+        let fired = self
+            .dma
+            .injector_mut()
+            .is_some_and(|inj| inj.roll_crash(point));
+        if fired {
+            self.force_crash(sim, point.as_str());
+        }
+        fired
+    }
+
+    /// Halts the world as a crash would, unconditionally (test hook and
+    /// the crash points' common path). All volatile state is considered
+    /// lost from this instant; pending events drain undelivered.
+    pub fn force_crash(&mut self, sim: &mut Sim<System>, label: &str) {
+        self.crashed = true;
+        if let Some(log) = &mut self.event_log {
+            log.push(format!(
+                "{{\"t\":{},\"type\":\"crash\",\"point\":\"{}\"}}",
+                sim.now().as_ns(),
+                label
+            ));
+        }
     }
 
     /// Turns on driver execution tracing (the raw material for the
@@ -452,7 +536,10 @@ impl System {
     #[must_use]
     pub fn dma_route_on(&self, tc: usize, src: NodeId, dst: NodeId) -> Vec<ResourceId> {
         let mut route = vec![self.resources.tc(tc), self.resources.node(src)];
-        if src != dst {
+        if let Some(wr) = self.resources.node_write(dst) {
+            // Writes into an NVM node go through its slower write pipe.
+            route.push(wr);
+        } else if src != dst {
             route.push(self.resources.node(dst));
         }
         route

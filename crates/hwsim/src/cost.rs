@@ -78,6 +78,19 @@ pub struct CostModel {
     /// `dma_engine_bw_gbps` pipe and launches are routed least-loaded.
     pub dma_tc_count: u32,
 
+    // ---- NVM-like persistent tier ----
+    /// Read bandwidth of an `MemoryKind::Nvm` node, GB/s. Defaults to the
+    /// DDR number so configurations without an NVM node are unaffected.
+    pub nvm_read_bw_gbps: f64,
+    /// Write bandwidth of an NVM node, GB/s. Real NVM writes are slower
+    /// than reads; the default keeps it symmetric (= DRAM) so the stock
+    /// profiles stay byte-identical.
+    pub nvm_write_bw_gbps: f64,
+    /// Appending one record to the persistent move journal (a small
+    /// streaming write plus ordering fence). Charged only when a device
+    /// is opened with `journal = true`.
+    pub journal_write: SimDuration,
+
     // ---- Virtual memory (§5.1, §5.2) ----
     /// Full vertical page-table walk from the root to a PTE.
     pub pt_walk_vertical: SimDuration,
@@ -152,6 +165,9 @@ impl CostModel {
             dma_trigger: SimDuration::from_ns(300),
             dma_transfer_controllers: 6,
             dma_tc_count: 1,
+            nvm_read_bw_gbps: 6.2,
+            nvm_write_bw_gbps: 6.2,
+            journal_write: SimDuration::from_ns(600),
             pt_walk_vertical: SimDuration::from_ns(1_100),
             pt_walk_horizontal: SimDuration::from_ns(90),
             pte_replace: SimDuration::from_ns(500),

@@ -246,6 +246,24 @@ impl DmaEngine {
         self.injector.as_ref()
     }
 
+    /// Mutable access to the installed injector (crash-point rolls).
+    #[must_use]
+    pub fn injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Drops all volatile engine state after a simulated crash: every
+    /// in-flight transfer vanishes and its descriptor chain is released.
+    /// Counters, the descriptor pool, the reuse cache, and the installed
+    /// injector survive (they model simulation bookkeeping, not device
+    /// RAM).
+    pub fn reset_volatile(&mut self) {
+        let chains: Vec<ChainId> = self.in_flight.drain().map(|(_, t)| t.chain).collect();
+        for chain in chains {
+            self.chains.release(chain);
+        }
+    }
+
     /// Injected-fault counters, if an injector is installed.
     #[must_use]
     pub fn fault_stats(&self) -> Option<FaultStats> {

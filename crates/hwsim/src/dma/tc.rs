@@ -85,6 +85,17 @@ impl<T> TcScheduler<T> {
         self.active
     }
 
+    /// Drops all volatile scheduler state after a simulated crash:
+    /// active counts go to zero and every queued launch ticket is
+    /// discarded. Channel registrations (the hardware) survive.
+    pub fn reset_volatile(&mut self) {
+        self.active = 0;
+        for c in &mut self.channels {
+            c.active = 0;
+            c.waiting.clear();
+        }
+    }
+
     /// Launch-ready transfers queued for a free controller.
     #[must_use]
     pub fn waiting(&self) -> usize {

@@ -179,6 +179,14 @@ impl FlowNet {
         self.flows.len()
     }
 
+    /// Drops every active flow without crediting further progress
+    /// (simulated crash: in-flight data vanishes). Resources, their
+    /// capacities, and delivered-byte accounting survive.
+    pub fn drop_all_flows(&mut self, now: SimTime) {
+        self.advance(now);
+        self.flows.clear();
+    }
+
     /// Advances all flows to `now`, removes the finished ones, and
     /// returns their ids in creation order.
     pub fn take_finished(&mut self, now: SimTime) -> Vec<FlowId> {
@@ -349,6 +357,17 @@ impl<W: EventWorld> FlowSystem<W> {
         self.payloads.remove(&id.0);
         self.rearm(sim);
         Some(left)
+    }
+
+    /// Drops all volatile flow state after a simulated crash: every
+    /// active flow and its pending completion payload vanish and the
+    /// completion timer is disarmed. Resources and capacities survive.
+    pub fn reset_volatile(&mut self, sim: &mut Sim<W>) {
+        self.net.drop_all_flows(sim.now());
+        self.payloads.clear();
+        if let Some(t) = self.timer.take() {
+            sim.cancel(t);
+        }
     }
 
     fn rearm(&mut self, sim: &mut Sim<W>) {

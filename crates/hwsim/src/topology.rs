@@ -31,6 +31,20 @@ pub enum MemoryKind {
     Fast,
     /// Large-capacity commodity memory (DDR, NVRAM).
     Slow,
+    /// Persistent, NVM-like memory: contents survive a simulated crash
+    /// and writes cost more than reads (asymmetric bandwidth, modeled
+    /// after "Emulating Hybrid Memory on NUMA Hardware").
+    Nvm,
+}
+
+impl MemoryKind {
+    /// Whether a bank of this kind retains its contents across a
+    /// simulated crash. Only NVM-like banks are persistent; DRAM and
+    /// SRAM banks lose their contents.
+    #[must_use]
+    pub fn is_persistent(self) -> bool {
+        matches!(self, MemoryKind::Nvm)
+    }
 }
 
 /// One memory bank exposed as a pseudo-NUMA node.

@@ -579,6 +579,28 @@ impl AddressSpace {
         out
     }
 
+    /// Every transient entry a move left in this space's page table:
+    /// migration entries (blocking accessors for the transfer window)
+    /// and write-watched entries (proceed-and-recover traps). Crash
+    /// recovery scans these and cross-checks them against the move
+    /// journal — a transient entry no journal record covers would be a
+    /// page stuck unreachable forever.
+    #[must_use]
+    pub fn scan_transient(&self) -> Vec<(VirtAddr, Pte)> {
+        let mut out = Vec::new();
+        for vma in self.vmas.values() {
+            for i in 0..u64::from(vma.pages) {
+                let va = vma.start.offset(i * vma.page_size.bytes());
+                if let Some(pte) = self.table.peek(va, vma.page_size) {
+                    if pte.is_migration() || pte.is_watched() {
+                        out.push((va, pte));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Pure translation: no reference-bit side effects, no TLB insert.
     #[must_use]
     pub fn translate(&self, vaddr: VirtAddr) -> Option<PhysAddr> {
