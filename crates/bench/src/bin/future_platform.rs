@@ -17,18 +17,19 @@
 
 use memif::{Memif, MemifConfig, NodeId, Sim, System};
 use memif_bench::{mbs, Table};
-use memif_hwsim::{CostModel, MemoryKind, MemoryNode, PhysAddr, Topology};
+use memif_hwsim::{CostModel, MemoryKind, MemoryNode, PhysAddr, TierRank, Topology};
 use memif_mm::PageSize;
 use memif_runtime::{KernelProfile, Placement, StreamConfig, StreamRuntime};
 use memif_workloads::table4_kernels;
 
 fn future_topology() -> Topology {
-    Topology::custom(
+    Topology::must_custom(
         vec![
             MemoryNode {
                 id: NodeId(0),
                 name: "ddr4".to_owned(),
                 kind: MemoryKind::Slow,
+                tier: TierRank(1),
                 base: PhysAddr::new(0x8_0000_0000),
                 bytes: 8 << 30,
                 bandwidth_gbps: 6.2,
@@ -38,6 +39,7 @@ fn future_topology() -> Topology {
                 id: NodeId(1),
                 name: "stacked-dram".to_owned(),
                 kind: MemoryKind::Fast,
+                tier: TierRank(0),
                 base: PhysAddr::new(0x0C00_0000),
                 bytes: 1 << 30, // 1/8 of main memory, as the paper expects
                 bandwidth_gbps: 48.0,

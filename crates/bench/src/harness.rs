@@ -24,7 +24,7 @@ use memif::{
 };
 use memif_baseline::{mbind, RegionRequest};
 use memif_hwsim::{
-    CostModel, CrashPlan, MemoryKind, MemoryNode, PhaseBreakdown, PhysAddr, Topology,
+    CostModel, CrashPlan, MemoryKind, MemoryNode, PhaseBreakdown, PhysAddr, TierRank, Topology,
 };
 use memif_workloads::ShapeKind;
 
@@ -32,12 +32,13 @@ use memif_workloads::ShapeKind;
 /// sweeps whose working sets exceed 6 MiB (see module docs).
 #[must_use]
 pub fn bigfast_topology() -> Topology {
-    Topology::custom(
+    Topology::must_custom(
         vec![
             MemoryNode {
                 id: NodeId(0),
                 name: "ddr3".to_owned(),
                 kind: MemoryKind::Slow,
+                tier: TierRank(1),
                 base: PhysAddr::new(0x8_0000_0000),
                 bytes: 8 << 30,
                 bandwidth_gbps: 6.2,
@@ -47,6 +48,7 @@ pub fn bigfast_topology() -> Topology {
                 id: NodeId(1),
                 name: "fast-bank".to_owned(),
                 kind: MemoryKind::Fast,
+                tier: TierRank(0),
                 base: PhysAddr::new(0x0C00_0000),
                 bytes: 256 << 20,
                 bandwidth_gbps: 24.0,
@@ -63,12 +65,13 @@ pub fn bigfast_topology() -> Topology {
 /// throttled separately by `CostModel::nvm_write_bw_gbps`.
 #[must_use]
 pub fn nvm_topology() -> Topology {
-    Topology::custom(
+    Topology::must_custom(
         vec![
             MemoryNode {
                 id: NodeId(0),
                 name: "ddr3".to_owned(),
                 kind: MemoryKind::Slow,
+                tier: TierRank(0),
                 base: PhysAddr::new(0x8_0000_0000),
                 bytes: 8 << 30,
                 bandwidth_gbps: 6.2,
@@ -78,6 +81,7 @@ pub fn nvm_topology() -> Topology {
                 id: NodeId(1),
                 name: "nvm".to_owned(),
                 kind: MemoryKind::Nvm,
+                tier: TierRank(1),
                 base: PhysAddr::new(0x10_0000_0000),
                 bytes: 1 << 30,
                 bandwidth_gbps: 6.2,
@@ -253,6 +257,10 @@ pub struct StreamResult {
     /// when the run recorded no worker-attributed time (e.g. the Linux
     /// baseline).
     pub worker_busy: Vec<SimDuration>,
+    /// Per-tier occupancy and migration counts at the end of the run
+    /// ([`memif::System::tier_usage`]). Empty for the Linux baseline,
+    /// which models no tiered machine.
+    pub tiers: Vec<memif::TierUsage>,
 }
 
 /// Streams `count` identical memif requests, keeping up to `window`
@@ -574,6 +582,7 @@ fn run_stream(
         failed: st.failed,
         stats: dev.stats.clone(),
         worker_busy: sys.meter.workers().to_vec(),
+        tiers: sys.tier_usage(),
     };
     drop(st);
     LoggedStream {
@@ -917,5 +926,6 @@ pub fn stream_linux(
         failed: 0,
         stats: memif::DriverStats::default(),
         worker_busy: Vec::new(),
+        tiers: Vec::new(),
     }
 }

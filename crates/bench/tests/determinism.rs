@@ -240,3 +240,74 @@ fn four_tcs_outrun_one() {
         a.throughput_gbps
     );
 }
+
+/// A bandwidth brownout on the middle tier (DRAM, rank 1 of the
+/// four-tier ladder) must degrade the waterfall gracefully — moves
+/// route through or wait, every issued hop reaches exactly one
+/// terminal status — and deterministically: the run is pinned
+/// byte-for-byte by its event trace across replays.
+#[test]
+fn middle_tier_brownout_replays_byte_identically() {
+    use std::collections::HashSet;
+
+    use memif::{Brownout, NodeId, SimDuration, SimTime};
+
+    let browned = ScenarioConfig {
+        mode: Mode::Async,
+        tiers: 4,
+        regions: 24,
+        hot: 4,
+        warm: 8,
+        carry: 2,
+        phases: 2,
+        ticks_per_phase: 12,
+        log_events: true,
+        faults: Some(FaultPlan {
+            brownouts: vec![Brownout {
+                node: NodeId(0),
+                start: SimTime::from_ns(1_000_000),
+                duration: SimDuration::from_ns(6_000_000),
+                factor: 0.2,
+            }],
+            ..FaultPlan::default()
+        }),
+        ..ScenarioConfig::default()
+    };
+    let clean = ScenarioConfig {
+        faults: None,
+        ..browned.clone()
+    };
+
+    let cost = CostModel::keystone_ii();
+    let a = run_scenario(&cost, &browned);
+    let b = run_scenario(&cost, &browned);
+
+    // Event-trace pin: same config, same bytes.
+    assert!(!a.events.is_empty(), "the trace actually recorded");
+    assert_eq!(a.events, b.events, "brownout runs must replay identically");
+    assert_eq!(a.statuses, b.statuses);
+    assert_eq!(a.wall, b.wall);
+
+    // Graceful degradation: the application does all its work, the
+    // brownout only slows the middle tier down.
+    // (Wall clock is *not* monotone in the fault: throttling a tier
+    // redirects the placement trajectory, which can win back more than
+    // the lost bandwidth — so only work conservation is asserted.)
+    let reference = run_scenario(&cost, &clean);
+    assert_eq!(a.ticks, reference.ticks, "no application work lost");
+    assert_ne!(
+        a.events, reference.events,
+        "the brownout must be visible in the trace"
+    );
+
+    // Exactly-once: every issued hop reaches one terminal status, and
+    // none reaches two.
+    let distinct: HashSet<u64> = a.statuses.iter().map(|(id, _)| *id).collect();
+    assert_eq!(distinct.len(), a.statuses.len(), "no request retires twice");
+    assert_eq!(
+        a.statuses.len() as u64,
+        a.driver.completed + a.driver.failed,
+        "no request is lost: {:?}",
+        a.driver
+    );
+}

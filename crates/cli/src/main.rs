@@ -12,6 +12,7 @@
 //! memifctl stats    [same flags as move] [--json true]
 //! memifctl policy   [--mode none|sync|async] [--regions 24] [--pages 64]
 //!                   [--phases 6] [--hot 8] [--carry 3] [--ticks 32]
+//!                   [--tiers 2] [--policy-tiers 0] [--warm 0]
 //!                   [--epoch-us 1000] [--max-inflight 4] [--seed 42]
 //!                   [--fault-seed N] [--dma-error-rate R] [--drop-rate R]
 //!                   [--trace-events PATH] [--json true]
@@ -118,6 +119,22 @@ disables moves entirely. The phased workload is shaped by --regions,
 --pages, --phases, --hot, --carry, --ticks, and --seed; chaos flags
 apply as in move. `cargo run --bin e14_policy` compares all three.
 
+ranked tiers (policy): --tiers N (default 2) sizes the machine. 2 runs
+the classic KeyStone II fast/slow pair; 3 or 4 run the ranked ladder
+SRAM > DRAM > NVM > compressed zram, where the daemon plays the
+*waterfall*: hot regions climb one rank, cold regions sink one rank,
+and frozen regions plunge to the compressed floor via chained
+multi-hop moves (compress/decompress work is costed). --warm N adds a
+warm halo to each phase (touched at quarter intensity every tick) so
+the middle tiers have something to earn, and --policy-tiers M (default
+0 = all) restricts the daemon to the top M-1 ranks plus the pool's
+home tier — the classic 2-tier comparator on a tall machine. Per-tier
+occupancy lands in `policy --json` under the stable `tiers` array.
+Quickstart:
+  memifctl policy --tiers 4 --warm 12 --regions 32 --json true
+`cargo run --release -p memif-bench --bin e16_waterfall` compares the
+regimes.
+
 crash recovery (recover): runs a journaled migration stream that
 ping-pongs between DDR and the persistent NVM node, optionally halting
 the world at a deterministic lifecycle point (--crash-point, fired on
@@ -131,7 +148,9 @@ redriven.
 
 machine-readable stats (stats/policy/recover): --json true prints the
 run's counters as a single stable-key JSON object instead of a table,
-for scripting and CI assertions.
+for scripting and CI assertions. stats and policy objects also carry a
+`tiers` array — one {rank, kind, used_bytes, capacity_bytes, moves_in,
+moves_out} object per memory tier, rank 0 fastest.
 
 event traces (move/policy): --trace-events <path> records the run's
 typed event log as JSON lines (one `#!` header, one `#=`
@@ -436,6 +455,44 @@ fn json_object(rows: &[(&str, u64)]) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
+/// [`json_object`] plus the stable-key per-tier occupancy array:
+/// `"tiers":[{rank, kind, used_bytes, capacity_bytes, moves_in,
+/// moves_out}, ...]`, rank 0 fastest.
+fn json_object_with_tiers(rows: &[(&str, u64)], tiers: &[memif::TierUsage]) -> String {
+    let flat = json_object(rows);
+    let entries: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"rank\":{},\"kind\":\"{}\",\"used_bytes\":{},\"capacity_bytes\":{},\
+                 \"moves_in\":{},\"moves_out\":{}}}",
+                t.rank, t.kind, t.used_bytes, t.capacity_bytes, t.moves_in, t.moves_out
+            )
+        })
+        .collect();
+    format!(
+        "{},\"tiers\":[{}]}}",
+        &flat[..flat.len() - 1],
+        entries.join(",")
+    )
+}
+
+/// The human-readable per-tier occupancy lines shared by `stats` and
+/// `policy` table output.
+fn print_tiers(tiers: &[memif::TierUsage]) {
+    for t in tiers {
+        println!(
+            "tier {} ({}): {:.2} / {:.2} MiB used, {} moves in, {} moves out",
+            t.rank,
+            t.kind,
+            t.used_bytes as f64 / (1 << 20) as f64,
+            t.capacity_bytes as f64 / (1 << 20) as f64,
+            t.moves_in,
+            t.moves_out,
+        );
+    }
+}
+
 /// Runs a `move` scenario and dumps every [`memif::DriverStats`]
 /// counter, including the batching/coalescing set, as a table (or as
 /// one JSON object with `--json true`).
@@ -494,7 +551,7 @@ fn stats(args: &Args) -> Result<(), String> {
         ("issue_cpu_ns", issue_cpu.as_ns()),
     ];
     if json {
-        println!("{}", json_object(rows));
+        println!("{}", json_object_with_tiers(rows, &r.tiers));
         return Ok(());
     }
     let mut table = Table::new(title, &["counter", "value"]);
@@ -503,6 +560,7 @@ fn stats(args: &Args) -> Result<(), String> {
     }
     table.print();
     println!("issue-side cpu (DmaConfig + Interface): {issue_cpu}");
+    print_tiers(&r.tiers);
     Ok(())
 }
 
@@ -539,6 +597,9 @@ fn policy_scenario(args: &Args) -> Result<(CostModel, ScenarioConfig), String> {
         hot: args.get_or("hot", 8usize)?,
         carry: args.get_or("carry", 3usize)?,
         ticks_per_phase: args.get_or("ticks", 32u32)?,
+        tiers: args.get_or("tiers", 2usize)?,
+        policy_tiers: args.get_or("policy-tiers", 0usize)?,
+        warm: args.get_or("warm", 0usize)?,
         policy,
         faults: (!plan.is_noop()).then_some(plan),
         ..ScenarioConfig::default()
@@ -553,6 +614,21 @@ fn policy_scenario(args: &Args) -> Result<(CostModel, ScenarioConfig), String> {
             return Err(format!("--{flag}: must be at least 1"));
         }
     }
+    if !(2..=4).contains(&cfg.tiers) {
+        return Err(format!("--tiers: {} out of range (2..=4)", cfg.tiers));
+    }
+    if cfg.policy_tiers > cfg.tiers {
+        return Err(format!(
+            "--policy-tiers: {} exceeds the machine's {} tiers",
+            cfg.policy_tiers, cfg.tiers
+        ));
+    }
+    if cfg.hot + cfg.warm > cfg.regions {
+        return Err(format!(
+            "--warm: hot ({}) + warm ({}) working sets exceed the region pool ({})",
+            cfg.hot, cfg.warm, cfg.regions
+        ));
+    }
     Ok((cost, cfg))
 }
 
@@ -563,7 +639,7 @@ fn policy_trace_header(args: &Args, cfg: &ScenarioConfig) -> String {
     format!(
         "#! policy mode={} seed={} regions={} pages={} page-size={} phases={} hot={} carry={} \
          ticks={} epoch-us={} max-inflight={} profile={} fault-seed={} dma-error-rate={} \
-         drop-rate={} delay-rate={} desc-exhaust-rate={}",
+         drop-rate={} delay-rate={} desc-exhaust-rate={} tiers={} policy-tiers={} warm={}",
         cfg.mode.as_str(),
         cfg.seed,
         cfg.regions,
@@ -585,6 +661,9 @@ fn policy_trace_header(args: &Args, cfg: &ScenarioConfig) -> String {
         plan.drop_rate,
         plan.delay_rate,
         plan.desc_exhaust_rate,
+        cfg.tiers,
+        cfg.policy_tiers,
+        cfg.warm,
     )
 }
 
@@ -619,25 +698,31 @@ fn policy(args: &Args) -> Result<(), String> {
     if args.get_or("json", false)? {
         println!(
             "{}",
-            json_object(&[
-                ("wall_ns", r.wall.as_ns()),
-                ("ticks", r.ticks),
-                ("fast_ticks", r.fast_ticks),
-                ("slow_ticks", r.slow_ticks),
-                ("page_touches", r.page_touches),
-                ("epochs", p.epochs),
-                ("pages_scanned", p.pages_scanned),
-                ("pages_referenced", p.pages_referenced),
-                ("promotions", p.promotions),
-                ("demotions", p.demotions),
-                ("moves_ok", p.moves_ok),
-                ("moves_failed", p.moves_failed),
-                ("dropped", p.dropped),
-                ("driver_submitted", r.driver.submitted),
-                ("driver_completed", r.driver.completed),
-                ("driver_failed", r.driver.failed),
-                ("driver_bytes_moved", r.driver.bytes_moved),
-            ])
+            json_object_with_tiers(
+                &[
+                    ("wall_ns", r.wall.as_ns()),
+                    ("ticks", r.ticks),
+                    ("fast_ticks", r.fast_ticks),
+                    ("slow_ticks", r.slow_ticks),
+                    ("page_touches", r.page_touches),
+                    ("epochs", p.epochs),
+                    ("pages_scanned", p.pages_scanned),
+                    ("pages_referenced", p.pages_referenced),
+                    ("promotions", p.promotions),
+                    ("demotions", p.demotions),
+                    ("moves_ok", p.moves_ok),
+                    ("moves_failed", p.moves_failed),
+                    ("dropped", p.dropped),
+                    ("cascades", p.cascades),
+                    ("compress_busy_ns", r.compress_busy.as_ns()),
+                    ("decompress_busy_ns", r.decompress_busy.as_ns()),
+                    ("driver_submitted", r.driver.submitted),
+                    ("driver_completed", r.driver.completed),
+                    ("driver_failed", r.driver.failed),
+                    ("driver_bytes_moved", r.driver.bytes_moved),
+                ],
+                &r.tiers,
+            )
         );
         return Ok(());
     }
@@ -652,7 +737,7 @@ fn policy(args: &Args) -> Result<(), String> {
     );
     println!(
         "policy: {} epochs, {} pages scanned ({} referenced), {} promotions + {} demotions \
-         ({} ok, {} failed, {} dropped at the watermark)",
+         ({} ok, {} failed, {} dropped at the watermark, {} cascade steps)",
         p.epochs,
         p.pages_scanned,
         p.pages_referenced,
@@ -661,6 +746,7 @@ fn policy(args: &Args) -> Result<(), String> {
         p.moves_ok,
         p.moves_failed,
         p.dropped,
+        p.cascades,
     );
     println!(
         "driver: {} submitted, {} completed, {} failed, {} MiB moved",
@@ -669,6 +755,14 @@ fn policy(args: &Args) -> Result<(), String> {
         r.driver.failed,
         r.driver.bytes_moved >> 20,
     );
+    if r.compress_busy.as_ns() + r.decompress_busy.as_ns() > 0 {
+        println!(
+            "codec: {:.2} ms compressing, {:.2} ms decompressing",
+            r.compress_busy.as_ns() as f64 / 1e6,
+            r.decompress_busy.as_ns() as f64 / 1e6,
+        );
+    }
+    print_tiers(&r.tiers);
     Ok(())
 }
 
@@ -919,6 +1013,12 @@ fn replay(args: &Args) -> Result<(), String> {
         }
         "policy" => {
             reject_override("mode", "async")?;
+            // The machine shape and working-set mix drive every
+            // placement decision in the trace; traces from before the
+            // ranked-tier refactor recorded the 2-tier defaults.
+            reject_override("tiers", "2")?;
+            reject_override("policy-tiers", "0")?;
+            reject_override("warm", "0")?;
             let (cost, mut cfg) = policy_scenario(&Args::from_pairs("policy", pairs))?;
             cfg.log_events = true;
             let r = run_scenario(&cost, &cfg);

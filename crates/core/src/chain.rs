@@ -1,0 +1,274 @@
+//! Cross-tier move chains: one logical region hopping through an
+//! ordered list of nodes.
+//!
+//! A ranked hierarchy turns some placements into multi-hop journeys —
+//! a demote-then-promote cascade under capacity pressure, or staging a
+//! region through DRAM on its way from the compressed floor to SRAM.
+//! [`MoveChain`] sequences those hops: each hop is an ordinary request
+//! through the batched/sharded issue path (so it batches, shards,
+//! journals, and recovers exactly like any other move), and the next hop
+//! is submitted only after the previous hop's completion is retrieved.
+//! Journaling therefore stays exactly-once *per hop*: every hop appends
+//! its own issue record and seals its own terminal status; a crash
+//! mid-chain loses at most the not-yet-submitted suffix, never a hop's
+//! exactly-once accounting.
+
+use std::collections::VecDeque;
+
+use memif_hwsim::{NodeId, Sim};
+use memif_lockfree::MoveStatus;
+use memif_mm::{PageSize, VirtAddr};
+
+use crate::api::{Completion, Memif, MoveSpec, ReqId};
+use crate::error::MemifError;
+use crate::system::System;
+
+/// What feeding a completion to a chain did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStep {
+    /// The completion belongs to some other request; the chain is
+    /// untouched.
+    NotMine,
+    /// The hop finished and the next hop was submitted.
+    Advanced(ReqId),
+    /// The final hop finished; the region rests at the last node.
+    Finished,
+    /// A hop terminated unsuccessfully; the chain stops where it is.
+    Failed(MoveStatus),
+}
+
+/// A logical move sequenced across multiple tier hops (see module docs).
+#[derive(Debug)]
+pub struct MoveChain {
+    base: VirtAddr,
+    pages: u32,
+    page_size: PageSize,
+    hops: VecDeque<NodeId>,
+    user_data: u64,
+    current: Option<ReqId>,
+    hops_done: u32,
+    done: bool,
+}
+
+impl MoveChain {
+    /// A chain moving `pages` pages at `base` through `hops` in order.
+    #[must_use]
+    pub fn new(
+        base: VirtAddr,
+        pages: u32,
+        page_size: PageSize,
+        hops: Vec<NodeId>,
+        user_data: u64,
+    ) -> Self {
+        MoveChain {
+            base,
+            pages,
+            page_size,
+            hops: hops.into(),
+            user_data,
+            current: None,
+            hops_done: 0,
+            done: false,
+        }
+    }
+
+    /// Submits the first hop through the background (kernel-thread)
+    /// issue path. Call once; completions then drive the rest via
+    /// [`MoveChain::on_completion`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors; [`MemifError::EmptyRequest`] if the
+    /// chain has no hops or was already started.
+    pub fn start(
+        &mut self,
+        memif: &Memif,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+    ) -> Result<ReqId, MemifError> {
+        if self.current.is_some() || self.done {
+            return Err(MemifError::EmptyRequest);
+        }
+        let Some(next) = self.hops.pop_front() else {
+            return Err(MemifError::EmptyRequest);
+        };
+        self.submit_hop(memif, sys, sim, next)
+    }
+
+    fn submit_hop(
+        &mut self,
+        memif: &Memif,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        dst: NodeId,
+    ) -> Result<ReqId, MemifError> {
+        let spec = MoveSpec::migrate(self.base, self.pages, self.page_size, dst)
+            .with_user_data(self.user_data);
+        let (id, _) = memif.submit_background(sys, sim, spec)?;
+        self.current = Some(id);
+        Ok(id)
+    }
+
+    /// Feeds a retrieved completion to the chain. If it completes the
+    /// chain's in-flight hop, the next hop is submitted (or the chain
+    /// finishes); any other completion returns [`ChainStep::NotMine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors from launching the next hop.
+    pub fn on_completion(
+        &mut self,
+        memif: &Memif,
+        sys: &mut System,
+        sim: &mut Sim<System>,
+        c: &Completion,
+    ) -> Result<ChainStep, MemifError> {
+        if self.current != Some(c.req_id) {
+            return Ok(ChainStep::NotMine);
+        }
+        self.current = None;
+        if !c.status.is_ok() {
+            self.done = true;
+            return Ok(ChainStep::Failed(c.status.0));
+        }
+        self.hops_done += 1;
+        match self.hops.pop_front() {
+            Some(next) => Ok(ChainStep::Advanced(self.submit_hop(memif, sys, sim, next)?)),
+            None => {
+                self.done = true;
+                Ok(ChainStep::Finished)
+            }
+        }
+    }
+
+    /// Hops completed successfully so far.
+    #[must_use]
+    pub fn hops_done(&self) -> u32 {
+        self.hops_done
+    }
+
+    /// True once the chain finished or failed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The in-flight hop's request id, if one is outstanding.
+    #[must_use]
+    pub fn in_flight(&self) -> Option<ReqId> {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemifConfig;
+    use memif_hwsim::{Context, CostModel, Topology};
+
+    fn pump(memif: &Memif, sys: &mut System, sim: &mut Sim<System>) -> Completion {
+        sim.run(sys);
+        memif
+            .retrieve_completed(sys)
+            .unwrap()
+            .expect("hop completion pending")
+    }
+
+    /// A region walks dram → nvm → sram on a 3-tier ladder; every hop is
+    /// journaled exactly once and the pages end on the final node.
+    #[test]
+    fn chain_hops_land_in_order_with_exactly_once_journaling() {
+        let mut sys = System::with_profile(Topology::ranked(3), CostModel::keystone_ii());
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let memif = Memif::open(
+            &mut sys,
+            space,
+            MemifConfig {
+                journal: true,
+                ..MemifConfig::default()
+            },
+        )
+        .unwrap();
+        let va = sys.mmap(space, 8, PageSize::Small4K, NodeId(0)).unwrap();
+
+        let mut chain = MoveChain::new(va, 8, PageSize::Small4K, vec![NodeId(2), NodeId(1)], 7);
+        chain.start(&memif, &mut sys, &mut sim).unwrap();
+        assert!(chain.in_flight().is_some());
+        // Starting twice is rejected.
+        assert!(matches!(
+            chain.start(&memif, &mut sys, &mut sim),
+            Err(MemifError::EmptyRequest)
+        ));
+
+        let c1 = pump(&memif, &mut sys, &mut sim);
+        let step = chain
+            .on_completion(&memif, &mut sys, &mut sim, &c1)
+            .unwrap();
+        assert!(matches!(step, ChainStep::Advanced(_)));
+        let mid = sys.space(space).translate(va).unwrap();
+        assert_eq!(sys.node_of(mid), Some(NodeId(2)), "staged on the NVM hop");
+
+        let c2 = pump(&memif, &mut sys, &mut sim);
+        assert_eq!(c2.user_data, 7);
+        let step = chain
+            .on_completion(&memif, &mut sys, &mut sim, &c2)
+            .unwrap();
+        assert_eq!(step, ChainStep::Finished);
+        assert!(chain.is_done());
+        assert_eq!(chain.hops_done(), 2);
+        let end = sys.space(space).translate(va).unwrap();
+        assert_eq!(sys.node_of(end), Some(NodeId(1)));
+
+        // Exactly-once per hop: one issue record per hop, each sealed.
+        let stats = &sys.device(memif.device()).unwrap().stats;
+        assert_eq!(stats.journal_records, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        // Per-node traffic: out of dram once, through nvm once each way,
+        // into sram once.
+        assert_eq!(stats.node_moves_out.get(&0), Some(&1));
+        assert_eq!(stats.node_moves_in.get(&2), Some(&1));
+        assert_eq!(stats.node_moves_out.get(&2), Some(&1));
+        assert_eq!(stats.node_moves_in.get(&1), Some(&1));
+    }
+
+    /// Moving through the compressed floor charges costed codec work,
+    /// visible in the meter's compress/decompress attribution.
+    #[test]
+    fn compressed_hops_charge_codec_work() {
+        let mut sys = System::with_profile(Topology::ranked(4), CostModel::keystone_ii());
+        let mut sim = Sim::new();
+        let space = sys.new_space();
+        let memif = Memif::open(&mut sys, space, MemifConfig::default()).unwrap();
+        let va = sys.mmap(space, 16, PageSize::Small4K, NodeId(0)).unwrap();
+        let bytes = 16 * 4096;
+
+        let mut chain = MoveChain::new(va, 16, PageSize::Small4K, vec![NodeId(3), NodeId(0)], 0);
+        chain.start(&memif, &mut sys, &mut sim).unwrap();
+        let c = pump(&memif, &mut sys, &mut sim);
+        assert!(c.status.is_ok());
+        assert_eq!(
+            sys.meter.compress_busy(),
+            sys.cost.compress(bytes),
+            "sinking to zram compresses every byte"
+        );
+        assert_eq!(sys.meter.decompress_busy().as_ns(), 0);
+        let kthread_before = sys.meter.busy(Context::KernelThread);
+
+        chain.on_completion(&memif, &mut sys, &mut sim, &c).unwrap();
+        let c = pump(&memif, &mut sys, &mut sim);
+        assert!(c.status.is_ok());
+        assert_eq!(
+            chain.on_completion(&memif, &mut sys, &mut sim, &c).unwrap(),
+            ChainStep::Finished
+        );
+        assert_eq!(sys.meter.decompress_busy(), sys.cost.decompress(bytes));
+        // Codec time is real kernel-thread time, not just attribution.
+        assert!(
+            sys.meter.busy(Context::KernelThread) >= kthread_before + sys.cost.decompress(bytes)
+        );
+        let end = sys.space(space).translate(va).unwrap();
+        assert_eq!(sys.node_of(end), Some(NodeId(0)));
+    }
+}

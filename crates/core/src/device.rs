@@ -5,7 +5,7 @@
 //! (Figure 3), and carries the driver bookkeeping — the in-flight
 //! transfer, statistics, completion log, and registered pollers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use memif_hwsim::dma::TransferId;
 use memif_hwsim::{PhaseBreakdown, PhysAddr, SimTime};
@@ -115,6 +115,11 @@ pub struct DriverStats {
     pub redriven: u64,
     /// Driver cost per phase (Figure 6 columns).
     pub phases: PhaseBreakdown,
+    /// Successful migrations whose pages landed *on* each node, keyed by
+    /// node id (the per-tier `moves_in` of `stats --json`).
+    pub node_moves_in: BTreeMap<u16, u64>,
+    /// Successful migrations whose pages left each node.
+    pub node_moves_out: BTreeMap<u16, u64>,
 }
 
 /// Per-page migration bookkeeping carried across the DMA window.
@@ -252,6 +257,11 @@ pub struct MemifDevice {
     pub(crate) next_req_id: u64,
     pub(crate) next_token: u64,
     pub(crate) submit_times: HashMap<u64, SimTime>,
+    /// Source/destination node of each planned migration, keyed by
+    /// request id; consumed at retirement to credit the per-node move
+    /// counters (the plan knows the source node, the retire site no
+    /// longer does).
+    pub(crate) routes: HashMap<u64, (u16, u16)>,
     pub(crate) pollers: Vec<SimEvent>,
 }
 
@@ -288,6 +298,7 @@ impl MemifDevice {
             next_req_id: 0,
             next_token: 0,
             submit_times: HashMap::new(),
+            routes: HashMap::new(),
             pollers: Vec::new(),
         })
     }

@@ -493,11 +493,16 @@ pub(crate) fn notify(
         completed_at: now,
         status,
     });
+    let route = device.routes.remove(&req.id);
     if status.is_failure() {
         device.stats.failed += 1;
     } else {
         device.stats.completed += 1;
         device.stats.bytes_moved += req.len_bytes();
+        if let Some((src, dst)) = route {
+            *device.stats.node_moves_out.entry(src).or_default() += 1;
+            *device.stats.node_moves_in.entry(dst).or_default() += 1;
+        }
     }
 
     // Wake anyone sleeping in poll() — the notification itself needed no

@@ -2,7 +2,7 @@
 //! launch.
 
 use memif_hwsim::dma::SgSegment;
-use memif_hwsim::{CompletionDelivery, Context, Phase, SimDuration};
+use memif_hwsim::{CompletionDelivery, Context, Phase, PhysAddr, SimDuration};
 use memif_lockfree::{Dequeued, FailReason, MovReq, MoveKind, MoveStatus};
 use memif_mm::{PageSize, Pte, VirtAddr};
 
@@ -63,6 +63,61 @@ fn record_coalescing(sys: &mut System, id: DeviceId, plan: &Plan) {
         stats.descriptor_writes_saved +=
             plan.coalesced_away * u64::from(memif_hwsim::dma::PARAM_FIELDS);
     }
+}
+
+/// Remembers which nodes a planned migration moves between, so the
+/// retire site can credit the per-node move counters after the remap has
+/// erased the source. Replications copy rather than move and are not
+/// counted.
+fn record_route(sys: &mut System, id: DeviceId, req: &MovReq, plan: &Plan) {
+    if req.kind != MoveKind::Migrate {
+        return;
+    }
+    let src = plan.pages.first().and_then(|p| sys.node_of(p.old_frame));
+    if let Some(src) = src {
+        dev_mut(sys, id)
+            .routes
+            .insert(req.id, (src.0, req.dst_node));
+    }
+}
+
+/// CPU codec work a segment list implies on topologies with a
+/// compressed bank: bytes landing in such a bank charge compression,
+/// bytes leaving one charge decompression — costed kernel work like the
+/// CPU-copy degradation path, attributed separately in the meter.
+/// Returns the charged duration (zero on ordinary topologies).
+fn codec_charge(sys: &mut System, segments: &[SgSegment], ctx: Context) -> SimDuration {
+    if !sys.topo.all_nodes().iter().any(|n| n.kind.is_compressed()) {
+        return SimDuration::ZERO;
+    }
+    let kind_of = |sys: &System, addr: PhysAddr| {
+        sys.topo
+            .all_nodes()
+            .iter()
+            .find(|n| n.contains(addr))
+            .map(|n| n.kind)
+    };
+    let (mut into, mut out_of) = (0u64, 0u64);
+    for seg in segments {
+        if kind_of(sys, seg.dst).is_some_and(memif_hwsim::MemoryKind::is_compressed) {
+            into += seg.bytes;
+        }
+        if kind_of(sys, seg.src).is_some_and(memif_hwsim::MemoryKind::is_compressed) {
+            out_of += seg.bytes;
+        }
+    }
+    let mut cost = SimDuration::ZERO;
+    if into > 0 {
+        let c = sys.cost.compress(into);
+        sys.meter.charge_compress(ctx, c);
+        cost += c;
+    }
+    if out_of > 0 {
+        let c = sys.cost.decompress(out_of);
+        sys.meter.charge_decompress(ctx, c);
+        cost += c;
+    }
+    cost
 }
 
 /// Runs operations 1–3 for `deq` in context `ctx`. Returns the kernel
@@ -206,6 +261,9 @@ pub(crate) fn execute_attempt(
         stats.phases.add(Phase::DmaConfig, cfg.config_cost);
         stats.descriptors_written += cfg.descriptors as u64;
     }
+    record_route(sys, id, &req, &plan);
+    // Compressed-tier moves pay their codec before the engine starts.
+    elapsed += codec_charge(sys, &plan.segments, ctx);
 
     let bytes = cfg.bytes;
     let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);
@@ -441,6 +499,11 @@ pub(crate) fn execute_batch(
         if planned.len() >= 2 {
             stats.requests_batched += planned.len() as u64;
         }
+    }
+    for (deq, plan) in &planned {
+        record_route(sys, id, &deq.req, plan);
+        // Codec work for the whole chain, member by member.
+        elapsed += codec_charge(sys, &plan.segments, ctx);
     }
 
     let threshold = dev(sys, id).poll_threshold(sys.cost.poll_threshold_bytes);

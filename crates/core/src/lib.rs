@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod chain;
 mod config;
 mod device;
 mod driver;
@@ -44,18 +45,19 @@ mod recover;
 mod system;
 
 pub use api::{poll_any, Completion, CompletionStatus, Memif, MoveSpec, ReqId};
+pub use chain::{ChainStep, MoveChain};
 pub use config::{MemifConfig, RaceMode};
 pub use device::{CompletionRecord, DeviceId, DriverStats, MemifDevice};
 pub use driver::fault::handle_write_fault;
 pub use error::MemifError;
 pub use event::{HookId, SimEvent};
 pub use journal::{JournalMilestone, JournalPage, JournalRecord, MoveJournal, RecoveryReport};
-pub use system::{Resources, SpaceId, System, TraceEntry};
+pub use system::{Resources, SpaceId, System, TierUsage, TraceEntry};
 
 // Re-export the building blocks user code needs at the API boundary.
 pub use memif_hwsim::{
     Brownout, Context, CrashPlan, CrashPoint, FaultPlan, FaultStats, NodeId, Phase, Sim,
-    SimDuration, SimTime,
+    SimDuration, SimTime, TierRank,
 };
 pub use memif_lockfree::{FailReason, MoveKind, MoveStatus};
 pub use memif_mm::{PageSize, VirtAddr};

@@ -85,6 +85,26 @@ impl Resources {
     }
 }
 
+/// Occupancy and migration traffic of one tier rank, as reported by
+/// [`System::tier_usage`] (and surfaced as the `tiers` array of the CLI's
+/// `--json` output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierUsage {
+    /// Tier rank (0 = fastest).
+    pub rank: u16,
+    /// Technology label of the tier's banks ("fast", "slow", "nvm",
+    /// "compressed").
+    pub kind: &'static str,
+    /// Bytes currently allocated across the tier's banks.
+    pub used_bytes: u64,
+    /// Total bytes across the tier's banks.
+    pub capacity_bytes: u64,
+    /// Successful migrations that landed on this tier.
+    pub moves_in: u64,
+    /// Successful migrations that left this tier.
+    pub moves_out: u64,
+}
+
 /// The whole simulated machine.
 #[derive(Debug)]
 pub struct System {
@@ -549,6 +569,48 @@ impl System {
     #[must_use]
     pub fn node_of(&self, addr: PhysAddr) -> Option<NodeId> {
         self.topo.node_of_addr(addr)
+    }
+
+    /// End-of-run occupancy and migration traffic per tier rank, in rank
+    /// order (the `tiers` array of `stats --json` / `policy --json`).
+    /// Occupancy comes from the frame allocator; move counts sum the
+    /// per-node counters of every open device over the tier's banks.
+    #[must_use]
+    pub fn tier_usage(&self) -> Vec<TierUsage> {
+        (0..self.topo.tier_count())
+            .map(|rank| {
+                let rank = memif_hwsim::TierRank(rank as u16);
+                let mut usage = TierUsage {
+                    rank: rank.0,
+                    kind: "?",
+                    used_bytes: 0,
+                    capacity_bytes: 0,
+                    moves_in: 0,
+                    moves_out: 0,
+                };
+                for node in self.topo.nodes_of_tier(rank) {
+                    usage.kind = node.kind.label();
+                    let total = self.alloc.total_bytes(node.id);
+                    usage.capacity_bytes += total;
+                    usage.used_bytes += total - self.alloc.free_bytes(node.id);
+                    for device in self.devices.iter().flatten() {
+                        usage.moves_in += device
+                            .stats
+                            .node_moves_in
+                            .get(&node.id.0)
+                            .copied()
+                            .unwrap_or(0);
+                        usage.moves_out += device
+                            .stats
+                            .node_moves_out
+                            .get(&node.id.0)
+                            .copied()
+                            .unwrap_or(0);
+                    }
+                }
+                usage
+            })
+            .collect()
     }
 
     /// Runs the given closure as a fresh simulation over this system,

@@ -90,6 +90,24 @@ pub struct CostModel {
     /// streaming write plus ordering fence). Charged only when a device
     /// is opened with `journal = true`.
     pub journal_write: SimDuration,
+    /// Aggregate bandwidth CPU cores achieve streaming against an NVM
+    /// node. Only exercised when a topology has an `MemoryKind::Nvm`
+    /// bank, so the stock two-node profiles are unaffected.
+    pub cpu_stream_nvm_gbps: f64,
+
+    // ---- Compressed cold tier (zram/zswap-like) ----
+    /// CPU compression throughput, GB/s: every byte moved *into* a
+    /// `MemoryKind::Compressed` bank charges `bytes / compress_bw` of
+    /// kernel-thread time, analogous to the CPU-copy degradation path.
+    /// Only exercised when a compressed bank exists.
+    pub compress_bw_gbps: f64,
+    /// CPU decompression throughput, GB/s, charged per byte moved *out*
+    /// of a compressed bank. Decompression is cheaper than compression
+    /// for LZ-class codecs.
+    pub decompress_bw_gbps: f64,
+    /// Aggregate bandwidth CPU cores achieve streaming data that is
+    /// resident in a compressed bank (decompress-on-access dominated).
+    pub cpu_stream_compressed_gbps: f64,
 
     // ---- Virtual memory (§5.1, §5.2) ----
     /// Full vertical page-table walk from the root to a PTE.
@@ -168,6 +186,10 @@ impl CostModel {
             nvm_read_bw_gbps: 6.2,
             nvm_write_bw_gbps: 6.2,
             journal_write: SimDuration::from_ns(600),
+            cpu_stream_nvm_gbps: 1.2,
+            compress_bw_gbps: 2.0,
+            decompress_bw_gbps: 4.0,
+            cpu_stream_compressed_gbps: 0.5,
             pt_walk_vertical: SimDuration::from_ns(1_100),
             pt_walk_horizontal: SimDuration::from_ns(90),
             pte_replace: SimDuration::from_ns(500),
@@ -247,6 +269,18 @@ impl CostModel {
     pub fn pte_update_with_flush(&self) -> SimDuration {
         self.pte_replace + self.tlb_flush_page
     }
+
+    /// CPU time to compress `bytes` on the way into a compressed bank.
+    #[must_use]
+    pub fn compress(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.compress_bw_gbps)
+    }
+
+    /// CPU time to decompress `bytes` on the way out of a compressed bank.
+    #[must_use]
+    pub fn decompress(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.decompress_bw_gbps)
+    }
 }
 
 impl Default for CostModel {
@@ -312,5 +346,20 @@ mod tests {
     #[test]
     fn default_is_keystone() {
         assert_eq!(CostModel::default().name, "keystone-ii");
+    }
+
+    #[test]
+    fn codec_costs_are_asymmetric() {
+        let c = CostModel::keystone_ii();
+        // LZ-class: decompression is cheaper than compression, and both
+        // are slower than a plain kernel memcpy per byte... compression
+        // at 2 GB/s actually beats the 1 GB/s memcpy — the dominant cost
+        // of a compressed-tier move is the codec plus the DMA, not the
+        // copy. What matters: both are nonzero and decompress < compress.
+        assert!(c.compress(1 << 20) > c.decompress(1 << 20));
+        assert!(c.decompress(4096).as_ns() > 0);
+        // Streaming from the compressed tier is the slowest residency.
+        assert!(c.cpu_stream_compressed_gbps < c.cpu_stream_nvm_gbps);
+        assert!(c.cpu_stream_nvm_gbps < c.cpu_stream_slow_gbps);
     }
 }

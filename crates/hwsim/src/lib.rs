@@ -46,4 +46,4 @@ pub use meter::{Context, Measurement, Phase, PhaseBreakdown, UsageMeter};
 pub use phys::{PhysAddr, PhysMem};
 pub use sim::{EventId, EventWorld, Sim};
 pub use time::{SimDuration, SimTime};
-pub use topology::{MemoryKind, MemoryNode, NodeId, Topology};
+pub use topology::{MemoryKind, MemoryNode, NodeId, TierRank, Topology, TopologyError};

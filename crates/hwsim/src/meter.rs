@@ -164,6 +164,11 @@ impl PhaseBreakdown {
 pub struct UsageMeter {
     busy: BTreeMap<Context, SimDuration>,
     workers: Vec<SimDuration>,
+    /// CPU time spent compressing bytes bound for a compressed bank
+    /// (also charged to its context in `busy`; this is attribution).
+    compress: SimDuration,
+    /// CPU time spent decompressing bytes leaving a compressed bank.
+    decompress: SimDuration,
 }
 
 impl UsageMeter {
@@ -209,6 +214,34 @@ impl UsageMeter {
         &self.workers
     }
 
+    /// Charges `cost` of compression work to `ctx`, additionally
+    /// attributing it to the compressed-tier codec. The time counts
+    /// toward `ctx`'s busy total *and* shows up in
+    /// [`UsageMeter::compress_busy`].
+    pub fn charge_compress(&mut self, ctx: Context, cost: SimDuration) {
+        self.charge(ctx, cost);
+        self.compress += cost;
+    }
+
+    /// Charges `cost` of decompression work to `ctx` (see
+    /// [`UsageMeter::charge_compress`]).
+    pub fn charge_decompress(&mut self, ctx: Context, cost: SimDuration) {
+        self.charge(ctx, cost);
+        self.decompress += cost;
+    }
+
+    /// CPU time attributed to compressing bytes into compressed banks.
+    #[must_use]
+    pub fn compress_busy(&self) -> SimDuration {
+        self.compress
+    }
+
+    /// CPU time attributed to decompressing bytes out of compressed banks.
+    #[must_use]
+    pub fn decompress_busy(&self) -> SimDuration {
+        self.decompress
+    }
+
     /// Busy time accumulated by `ctx`.
     #[must_use]
     pub fn busy(&self, ctx: Context) -> SimDuration {
@@ -239,6 +272,8 @@ impl UsageMeter {
     pub fn reset(&mut self) {
         self.busy.clear();
         self.workers.clear();
+        self.compress = SimDuration::ZERO;
+        self.decompress = SimDuration::ZERO;
     }
 }
 
@@ -341,6 +376,22 @@ mod tests {
         assert_eq!(m.busy(Context::KernelThread).as_ns(), 141);
         m.reset();
         assert!(m.workers().is_empty());
+    }
+
+    #[test]
+    fn codec_attribution() {
+        let mut m = UsageMeter::new();
+        assert_eq!(m.compress_busy(), SimDuration::ZERO);
+        m.charge_compress(Context::KernelThread, SimDuration::from_ns(300));
+        m.charge_decompress(Context::KernelThread, SimDuration::from_ns(100));
+        m.charge(Context::KernelThread, SimDuration::from_ns(50));
+        assert_eq!(m.compress_busy().as_ns(), 300);
+        assert_eq!(m.decompress_busy().as_ns(), 100);
+        // Codec time is real kernel-thread CPU time, not a side channel.
+        assert_eq!(m.busy(Context::KernelThread).as_ns(), 450);
+        m.reset();
+        assert_eq!(m.compress_busy(), SimDuration::ZERO);
+        assert_eq!(m.decompress_busy(), SimDuration::ZERO);
     }
 
     #[test]

@@ -1,15 +1,20 @@
-//! The pure decision core: decayed heat, watermark-bounded hot-set
-//! selection, and hysteresis.
+//! The pure decision core: decayed heat, waterfall tier selection
+//! under per-tier watermarks, and hysteresis.
 //!
 //! The engine is deliberately sim-free — it sees scan results and
-//! capacity numbers, and returns move lists. All state lives in
-//! `BTreeMap`s keyed by region base address and every selection sorts
-//! with a total order (heat, then base), so identical inputs produce
-//! identical plans: the daemon's epoch loop is replayable because this
-//! layer is a pure function of its history.
+//! per-tier capacity numbers, and returns move lists. Placement follows
+//! the *waterfall* discipline over a ranked ladder of tiers (0 =
+//! fastest): hot regions climb one rank, cold regions sink one rank,
+//! and frozen regions (when the ladder ends in a compressed floor)
+//! sink straight to the bottom. All state lives in `BTreeMap`s keyed by
+//! region base address and every selection sorts with a total order
+//! (heat, then base), so identical inputs produce identical plans: the
+//! daemon's epoch loop is replayable because this layer is a pure
+//! function of its history.
 
 use std::collections::BTreeMap;
 
+use memif_hwsim::TierRank;
 use memif_mm::PageSize;
 
 use crate::PolicyConfig;
@@ -25,8 +30,9 @@ pub struct TrackedRegion {
     pub page_size: PageSize,
     /// Exponentially-decayed heat, in page-touches.
     pub heat: u64,
-    /// True while the region's frames sit on the fast node.
-    pub resident_fast: bool,
+    /// The tier rank currently backing the region (0 = fastest), as an
+    /// index into the daemon's tier map.
+    pub tier: TierRank,
     /// True while a policy move for the region is outstanding (the
     /// region is neither scanned nor re-planned until it retires).
     pub inflight: bool,
@@ -40,51 +46,117 @@ impl TrackedRegion {
     }
 }
 
+/// One planned placement change between adjacent ranks — or, for a
+/// frozen region, a plunge to the compressed floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// Region base address.
+    pub base: u64,
+    /// The rank the region leaves.
+    pub from: TierRank,
+    /// The rank the region lands on.
+    pub to: TierRank,
+}
+
 /// One epoch's move decisions, in issue order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PolicyPlan {
-    /// Regions to demote to the slow node, coldest first. Demotions are
+    /// Regions sinking down the waterfall, coldest first. Demotions are
     /// issued before promotions so capacity frees ahead of demand.
-    pub demote: Vec<u64>,
-    /// Regions to promote to the fast node, hottest first.
-    pub promote: Vec<u64>,
-    /// Hot regions that did not fit under the watermark this epoch.
+    pub demote: Vec<PlannedMove>,
+    /// Regions climbing one rank, hottest first.
+    pub promote: Vec<PlannedMove>,
+    /// Planned moves that did not fit under their target tier's
+    /// watermark this epoch (retried once capacity frees).
     pub dropped: u32,
 }
 
-/// The placement engine: tracked regions plus the selection knobs.
+/// One tier's occupancy as seen by the frame allocator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierOccupancy {
+    /// Unallocated bytes on the tier.
+    pub free: u64,
+    /// The tier's total capacity in bytes.
+    pub total: u64,
+}
+
+/// The placement engine: tracked regions plus the selection knobs,
+/// resolved per tier.
 #[derive(Debug)]
 pub struct PolicyEngine {
     regions: BTreeMap<u64, TrackedRegion>,
+    tiers: usize,
+    compressed_floor: bool,
     decay_num: u64,
     decay_den: u64,
-    promote_permille: u64,
-    demote_permille: u64,
-    watermark_permille: u64,
+    promote_permille: Vec<u64>,
+    demote_permille: Vec<u64>,
+    watermark_permille: Vec<u64>,
+    freeze_permille: u64,
 }
 
 impl PolicyEngine {
-    /// An engine with `cfg`'s selection knobs and no tracked regions.
+    /// A two-tier engine (the classic fast/slow pair) with `cfg`'s
+    /// selection knobs and no tracked regions.
     #[must_use]
     pub fn new(cfg: &PolicyConfig) -> Self {
+        Self::with_tiers(cfg, 2, false)
+    }
+
+    /// An engine planning over `tiers` ranks. `compressed_floor`
+    /// declares that the last rank is compressed storage, which enables
+    /// the freeze rule when [`PolicyConfig::freeze_permille`] is set.
+    ///
+    /// Per-tier knobs resolve from `cfg.tier_overrides[rank]`, falling
+    /// back to the global knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is zero.
+    #[must_use]
+    pub fn with_tiers(cfg: &PolicyConfig, tiers: usize, compressed_floor: bool) -> Self {
+        assert!(tiers >= 1, "an engine needs at least one tier");
+        let knob = |rank: usize, pick: fn(&crate::TierTuning) -> Option<u32>, global: u32| {
+            u64::from(
+                cfg.tier_overrides
+                    .get(rank)
+                    .and_then(pick)
+                    .unwrap_or(global),
+            )
+        };
         PolicyEngine {
             regions: BTreeMap::new(),
+            tiers,
+            compressed_floor,
             decay_num: u64::from(cfg.decay_num),
             decay_den: u64::from(cfg.decay_den).max(1),
-            promote_permille: u64::from(cfg.promote_permille),
-            demote_permille: u64::from(cfg.demote_permille),
-            watermark_permille: u64::from(cfg.watermark_permille),
+            promote_permille: (0..tiers)
+                .map(|t| knob(t, |o| o.promote_permille, cfg.promote_permille))
+                .collect(),
+            demote_permille: (0..tiers)
+                .map(|t| knob(t, |o| o.demote_permille, cfg.demote_permille))
+                .collect(),
+            watermark_permille: (0..tiers)
+                .map(|t| knob(t, |o| o.watermark_permille, cfg.watermark_permille))
+                .collect(),
+            freeze_permille: u64::from(cfg.freeze_permille),
         }
     }
 
+    /// The number of ranks the engine plans over.
+    #[must_use]
+    pub fn tiers(&self) -> usize {
+        self.tiers
+    }
+
     /// Registers a region for placement (idempotent per base address).
-    pub fn track(&mut self, base: u64, pages: u32, page_size: PageSize, resident_fast: bool) {
+    pub fn track(&mut self, base: u64, pages: u32, page_size: PageSize, tier: TierRank) {
         self.regions.entry(base).or_insert(TrackedRegion {
             base,
             pages,
             page_size,
             heat: 0,
-            resident_fast,
+            tier,
             inflight: false,
         });
     }
@@ -106,9 +178,9 @@ impl PolicyEngine {
     }
 
     /// Updates residency bookkeeping for `base`.
-    pub fn set_resident(&mut self, base: u64, fast: bool) {
+    pub fn set_tier(&mut self, base: u64, tier: TierRank) {
         if let Some(r) = self.regions.get_mut(&base) {
-            r.resident_fast = fast;
+            r.tier = tier;
         }
     }
 
@@ -130,64 +202,124 @@ impl PolicyEngine {
         self.regions.get(&base)
     }
 
-    /// A region is *hot* when its heat reaches `promote_permille` of
-    /// its page count — e.g. 500 means "half the region's pages' worth
-    /// of decayed touches".
-    #[must_use]
-    pub fn is_hot(&self, r: &TrackedRegion) -> bool {
-        r.heat * 1000 >= u64::from(r.pages) * self.promote_permille
+    fn threshold(knobs: &[u64], rank: TierRank) -> u64 {
+        knobs
+            .get(rank.0 as usize)
+            .copied()
+            .or_else(|| knobs.last().copied())
+            .unwrap_or(0)
     }
 
-    /// A region is *cold* when its heat has decayed to
+    /// A region is *hot* when its heat reaches its tier's
+    /// `promote_permille` of its page count — e.g. 500 means "half the
+    /// region's pages' worth of decayed touches".
+    #[must_use]
+    pub fn is_hot(&self, r: &TrackedRegion) -> bool {
+        r.heat * 1000 >= u64::from(r.pages) * Self::threshold(&self.promote_permille, r.tier)
+    }
+
+    /// A region is *cold* when its heat has decayed to its tier's
     /// `demote_permille` of its page count. The gap between the two
     /// thresholds is the hysteresis band: a region between them is
     /// neither promoted nor demoted, so one noisy epoch cannot
-    /// ping-pong it.
+    /// ping-pong it. Each tier carries its own band.
     #[must_use]
     pub fn is_cold(&self, r: &TrackedRegion) -> bool {
-        r.heat * 1000 <= u64::from(r.pages) * self.demote_permille
+        r.heat * 1000 <= u64::from(r.pages) * Self::threshold(&self.demote_permille, r.tier)
     }
 
-    /// Builds this epoch's plan against the fast node's current
-    /// occupancy (`fast_free`/`fast_total` from the frame allocator).
-    ///
-    /// Selection: every cold fast-resident region is demoted (coldest
-    /// first); hot slow-resident regions are promoted hottest-first
-    /// while projected occupancy stays under the watermark ceiling,
-    /// crediting the bytes this epoch's demotions will free. Regions
-    /// with a move outstanding are never re-planned.
+    /// A region is *frozen* when freezing is enabled (a compressed
+    /// floor exists and `freeze_permille > 0`) and its heat has decayed
+    /// to `freeze_permille` of its page count: it skips the waterfall
+    /// and sinks straight to the floor.
     #[must_use]
-    pub fn plan(&self, fast_free: u64, fast_total: u64) -> PolicyPlan {
-        let ceiling = fast_total / 1000 * self.watermark_permille;
-        let mut used = fast_total.saturating_sub(fast_free);
+    pub fn is_frozen(&self, r: &TrackedRegion) -> bool {
+        self.compressed_floor
+            && self.freeze_permille > 0
+            && r.heat * 1000 <= u64::from(r.pages) * self.freeze_permille
+    }
 
-        let mut demote: Vec<&TrackedRegion> = self
+    /// Builds this epoch's plan against every tier's current occupancy
+    /// (`occ[rank]` from the frame allocator; one entry per rank).
+    ///
+    /// Selection, waterfall order: every cold region sinks one rank
+    /// (frozen regions sink to the floor), coldest first; hot regions
+    /// climb one rank, hottest first. Moves into a non-floor tier must
+    /// fit under that tier's watermark ceiling, crediting the bytes
+    /// this epoch's earlier selections free — so a demotion out of a
+    /// tier makes room for a promotion into it within the same plan.
+    /// The floor accepts demotions unconditionally. Regions with a move
+    /// outstanding are never re-planned.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `occ` has exactly one entry per tier.
+    #[must_use]
+    pub fn plan(&self, occ: &[TierOccupancy]) -> PolicyPlan {
+        assert_eq!(occ.len(), self.tiers, "one occupancy entry per tier");
+        let floor = TierRank((self.tiers - 1) as u16);
+        let mut used: Vec<u64> = occ.iter().map(|o| o.total.saturating_sub(o.free)).collect();
+        let ceilings: Vec<u64> = occ
+            .iter()
+            .zip(&self.watermark_permille)
+            .map(|(o, w)| o.total / 1000 * w)
+            .collect();
+
+        let mut sink: Vec<(&TrackedRegion, TierRank)> = self
             .regions
             .values()
-            .filter(|r| !r.inflight && r.resident_fast && self.is_cold(r))
+            .filter(|r| !r.inflight && r.tier < floor)
+            .filter_map(|r| {
+                if self.is_frozen(r) {
+                    Some((r, floor))
+                } else if self.is_cold(r) {
+                    Some((r, r.tier.down()))
+                } else {
+                    None
+                }
+            })
             .collect();
         // Coldest first; base address breaks ties so the order is total.
-        demote.sort_by_key(|r| (r.heat, r.base));
-        for r in &demote {
-            used = used.saturating_sub(r.bytes());
+        sink.sort_by_key(|(r, _)| (r.heat, r.base));
+
+        let mut plan = PolicyPlan::default();
+        for (r, to) in sink {
+            let (from_ix, to_ix) = (r.tier.0 as usize, to.0 as usize);
+            if to != floor && used[to_ix] + r.bytes() > ceilings[to_ix] {
+                plan.dropped += 1;
+                continue;
+            }
+            used[from_ix] = used[from_ix].saturating_sub(r.bytes());
+            used[to_ix] += r.bytes();
+            plan.demote.push(PlannedMove {
+                base: r.base,
+                from: r.tier,
+                to,
+            });
         }
 
-        let mut promote: Vec<&TrackedRegion> = self
+        // Adversarial per-tier overrides can invert the hysteresis band
+        // (promote bar at or below the demote bar), making a region
+        // simultaneously cold and hot — never plan it twice.
+        let sunk: std::collections::BTreeSet<u64> = plan.demote.iter().map(|m| m.base).collect();
+        let mut climb: Vec<&TrackedRegion> = self
             .regions
             .values()
-            .filter(|r| !r.inflight && !r.resident_fast && self.is_hot(r))
+            .filter(|r| !r.inflight && r.tier.0 > 0 && self.is_hot(r) && !sunk.contains(&r.base))
             .collect();
         // Hottest first (descending heat, ascending base on ties).
-        promote.sort_by_key(|r| (std::cmp::Reverse(r.heat), r.base));
-
-        let mut plan = PolicyPlan {
-            demote: demote.iter().map(|r| r.base).collect(),
-            ..PolicyPlan::default()
-        };
-        for r in &promote {
-            if used + r.bytes() <= ceiling {
-                used += r.bytes();
-                plan.promote.push(r.base);
+        climb.sort_by_key(|r| (std::cmp::Reverse(r.heat), r.base));
+        for r in climb {
+            let to = r.tier.up();
+            let (from_ix, to_ix) = (r.tier.0 as usize, to.0 as usize);
+            if used[to_ix] + r.bytes() <= ceilings[to_ix] {
+                used[from_ix] = used[from_ix].saturating_sub(r.bytes());
+                used[to_ix] += r.bytes();
+                plan.promote.push(PlannedMove {
+                    base: r.base,
+                    from: r.tier,
+                    to,
+                });
             } else {
                 plan.dropped += 1;
             }
@@ -199,18 +331,39 @@ impl PolicyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TierTuning;
 
     const PAGE: PageSize = PageSize::Small4K;
     const PAGES: u32 = 64; // 256 KiB regions
+    const T0: TierRank = TierRank(0);
+    const T1: TierRank = TierRank(1);
 
     fn engine() -> PolicyEngine {
         PolicyEngine::new(&PolicyConfig::default())
     }
 
+    /// Occupancy for the classic pair: SRAM-sized tier 0, roomy tier 1.
+    fn two_tier(fast_free: u64, fast_total: u64) -> [TierOccupancy; 2] {
+        [
+            TierOccupancy {
+                free: fast_free,
+                total: fast_total,
+            },
+            TierOccupancy {
+                free: 24 << 20,
+                total: 24 << 20,
+            },
+        ]
+    }
+
+    fn bases(moves: &[PlannedMove]) -> Vec<u64> {
+        moves.iter().map(|m| m.base).collect()
+    }
+
     #[test]
     fn heat_decays_exponentially() {
         let mut e = engine();
-        e.track(0x1000, PAGES, PAGE, false);
+        e.track(0x1000, PAGES, PAGE, T1);
         e.observe(0x1000, 64);
         assert_eq!(e.region(0x1000).unwrap().heat, 64);
         e.observe(0x1000, 64);
@@ -222,60 +375,179 @@ mod tests {
     #[test]
     fn hysteresis_band_holds_regions_in_place() {
         let mut e = engine();
-        e.track(0x1000, PAGES, PAGE, true);
+        e.track(0x1000, PAGES, PAGE, T0);
         // Default thresholds: hot >= 500‰ of 64 pages = 32; cold <= 150‰
         // of 64 pages = 9.6. Heat 20 sits between the two.
         e.observe(0x1000, 20);
         let r = *e.region(0x1000).unwrap();
         assert!(!e.is_hot(&r) && !e.is_cold(&r), "inside the band");
-        let plan = e.plan(1 << 20, 6 << 20);
+        let plan = e.plan(&two_tier(1 << 20, 6 << 20));
         assert!(plan.demote.is_empty() && plan.promote.is_empty());
     }
 
     #[test]
     fn plan_orders_demotions_before_promotions_fit() {
         let mut e = engine();
-        // Two cold fast residents, one hot slow region.
-        e.track(0x1000, PAGES, PAGE, true);
-        e.track(0x2000_0000, PAGES, PAGE, true);
-        e.track(0x4000_0000, PAGES, PAGE, false);
+        // Two cold tier-0 residents, one hot tier-1 region.
+        e.track(0x1000, PAGES, PAGE, T0);
+        e.track(0x2000_0000, PAGES, PAGE, T0);
+        e.track(0x4000_0000, PAGES, PAGE, T1);
         e.observe(0x2000_0000, 5); // slightly warmer of the two cold ones
         e.observe(0x4000_0000, 64);
 
-        // Fast node nearly full: only the demotions make the promotion fit.
+        // Tier 0 nearly full: only the demotions make the promotion fit.
         let total = 6 << 20;
         let free = 600 << 10; // 600 KiB free, watermark 900‰ of 6 MiB
-        let plan = e.plan(free, total);
-        assert_eq!(plan.demote, vec![0x1000, 0x2000_0000], "coldest first");
-        assert_eq!(plan.promote, vec![0x4000_0000]);
+        let plan = e.plan(&two_tier(free, total));
+        assert_eq!(
+            bases(&plan.demote),
+            vec![0x1000, 0x2000_0000],
+            "coldest first"
+        );
+        assert_eq!(plan.demote[0].from, T0);
+        assert_eq!(plan.demote[0].to, T1);
+        assert_eq!(bases(&plan.promote), vec![0x4000_0000]);
+        assert_eq!(plan.promote[0].to, T0);
         assert_eq!(plan.dropped, 0);
     }
 
     #[test]
     fn watermark_drops_unfittable_promotions() {
         let mut e = engine();
-        e.track(0x1000, PAGES, PAGE, false);
-        e.track(0x2000_0000, PAGES, PAGE, false);
+        e.track(0x1000, PAGES, PAGE, T1);
+        e.track(0x2000_0000, PAGES, PAGE, T1);
         e.observe(0x1000, 60);
         e.observe(0x2000_0000, 64);
         // Room under the ceiling for exactly one 256 KiB region.
         let total: u64 = 6 << 20;
         let ceiling = total / 1000 * 900;
         let used = ceiling - (256 << 10);
-        let plan = e.plan(total - used, total);
-        assert_eq!(plan.promote, vec![0x2000_0000], "hottest wins the slot");
+        let plan = e.plan(&two_tier(total - used, total));
+        assert_eq!(
+            bases(&plan.promote),
+            vec![0x2000_0000],
+            "hottest wins the slot"
+        );
         assert_eq!(plan.dropped, 1);
     }
 
     #[test]
     fn inflight_regions_are_never_replanned() {
         let mut e = engine();
-        e.track(0x1000, PAGES, PAGE, false);
+        e.track(0x1000, PAGES, PAGE, T1);
         e.observe(0x1000, 64);
         e.set_inflight(0x1000, true);
-        let plan = e.plan(6 << 20, 6 << 20);
+        let plan = e.plan(&two_tier(6 << 20, 6 << 20));
         assert!(plan.promote.is_empty());
         e.set_inflight(0x1000, false);
-        assert_eq!(e.plan(6 << 20, 6 << 20).promote, vec![0x1000]);
+        assert_eq!(
+            bases(&e.plan(&two_tier(6 << 20, 6 << 20)).promote),
+            vec![0x1000]
+        );
+    }
+
+    /// Four ranks, freezing on: an ice-cold region plunges to the
+    /// floor, a merely cold one sinks exactly one rank, and a hot one
+    /// climbs exactly one rank.
+    #[test]
+    fn waterfall_moves_step_one_rank_except_frozen() {
+        let cfg = PolicyConfig {
+            freeze_permille: 50, // 64 pages → frozen at heat <= 3.2
+            ..PolicyConfig::default()
+        };
+        let mut e = PolicyEngine::with_tiers(&cfg, 4, true);
+        let roomy = [TierOccupancy {
+            free: 64 << 20,
+            total: 64 << 20,
+        }; 4];
+        e.track(0x1000, PAGES, PAGE, T0); // heat 0: frozen
+        e.track(0x2000_0000, PAGES, PAGE, T0); // cold, not frozen
+        e.observe(0x2000_0000, 5);
+        e.track(0x4000_0000, PAGES, PAGE, TierRank(2)); // hot
+        e.observe(0x4000_0000, 64);
+
+        let plan = e.plan(&roomy);
+        assert_eq!(
+            plan.demote,
+            vec![
+                PlannedMove {
+                    base: 0x1000,
+                    from: T0,
+                    to: TierRank(3)
+                },
+                PlannedMove {
+                    base: 0x2000_0000,
+                    from: T0,
+                    to: T1
+                },
+            ]
+        );
+        assert_eq!(
+            plan.promote,
+            vec![PlannedMove {
+                base: 0x4000_0000,
+                from: TierRank(2),
+                to: T1
+            }]
+        );
+    }
+
+    /// A full middle tier rejects demotions into it (counted in
+    /// `dropped`), while the floor always accepts.
+    #[test]
+    fn full_middle_tier_drops_demotions_floor_never_does() {
+        let cfg = PolicyConfig {
+            freeze_permille: 50,
+            ..PolicyConfig::default()
+        };
+        let mut e = PolicyEngine::with_tiers(&cfg, 3, true);
+        e.track(0x1000, PAGES, PAGE, T0); // cold, not frozen
+        e.observe(0x1000, 5);
+        e.track(0x2000_0000, PAGES, PAGE, T0); // frozen → floor
+        let occ = [
+            TierOccupancy {
+                free: 6 << 20,
+                total: 6 << 20,
+            },
+            TierOccupancy {
+                free: 0,
+                total: 24 << 20,
+            }, // middle tier brim-full
+            TierOccupancy {
+                free: 0,
+                total: 1 << 30,
+            }, // floor also full — accepts anyway
+        ];
+        let plan = e.plan(&occ);
+        assert_eq!(bases(&plan.demote), vec![0x2000_0000], "floor plunge");
+        assert_eq!(plan.demote[0].to, TierRank(2));
+        assert_eq!(plan.dropped, 1, "one-rank sink had nowhere to land");
+    }
+
+    /// Tier overrides reshape the hysteresis band per rank.
+    #[test]
+    fn per_tier_overrides_shape_thresholds() {
+        let cfg = PolicyConfig {
+            tier_overrides: vec![
+                TierTuning::default(), // tier 0: globals
+                TierTuning {
+                    promote_permille: Some(900), // tier 1: hard to leave
+                    ..TierTuning::default()
+                },
+            ],
+            ..PolicyConfig::default()
+        };
+        let e = PolicyEngine::with_tiers(&cfg, 2, false);
+        let r = TrackedRegion {
+            base: 0x1000,
+            pages: PAGES,
+            page_size: PAGE,
+            heat: 40, // hot under the global 500‰, not under 900‰
+            tier: T1,
+            inflight: false,
+        };
+        assert!(!e.is_hot(&r), "tier-1 override raised the bar");
+        let on_t0 = TrackedRegion { tier: T0, ..r };
+        assert!(e.is_hot(&on_t0), "tier 0 still uses the global knob");
     }
 }

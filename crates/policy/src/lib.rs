@@ -32,11 +32,26 @@ pub mod daemon;
 pub mod engine;
 pub mod scenario;
 
-pub use daemon::{PolicyDaemon, PolicyStats};
-pub use engine::{PolicyEngine, PolicyPlan, TrackedRegion};
+pub use daemon::{PolicyDaemon, PolicyStats, TierMap};
+pub use engine::{PlannedMove, PolicyEngine, PolicyPlan, TierOccupancy, TrackedRegion};
 pub use scenario::{run_scenario, Mode, ScenarioConfig, ScenarioResult};
 
 use memif::SimDuration;
+
+/// Per-tier overrides for the selection knobs. Entries index by tier
+/// rank (0 = fastest); a missing entry — or a `None` field — falls back
+/// to the matching global knob in [`PolicyConfig`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTuning {
+    /// Promotion threshold for regions *on this tier*, in thousandths
+    /// of a region's page count.
+    pub promote_permille: Option<u32>,
+    /// Demotion threshold for regions on this tier, same units.
+    pub demote_permille: Option<u32>,
+    /// Occupancy ceiling for moves *into* this tier, in thousandths of
+    /// the tier's capacity.
+    pub watermark_permille: Option<u32>,
+}
 
 /// Tuning knobs for the placement daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +78,17 @@ pub struct PolicyConfig {
     /// Maximum policy moves outstanding at once; plans beyond the
     /// window wait for the next epoch.
     pub max_inflight: usize,
+    /// Freeze threshold, in thousandths of a region's page count: a
+    /// region at or below it sinks *straight to the compressed floor*
+    /// rather than one rank. Zero disables freezing. Only meaningful
+    /// when the tier map ends in a compressed node.
+    pub freeze_permille: u32,
+    /// Retry moves that did not fit their target tier as soon as a
+    /// completion frees capacity, instead of waiting a whole epoch —
+    /// the demote-then-promote cascade under capacity pressure.
+    pub cascade: bool,
+    /// Per-tier threshold overrides (see [`TierTuning`]).
+    pub tier_overrides: Vec<TierTuning>,
 }
 
 impl Default for PolicyConfig {
@@ -75,6 +101,9 @@ impl Default for PolicyConfig {
             demote_permille: 150,
             watermark_permille: 900,
             max_inflight: 4,
+            freeze_permille: 0,
+            cascade: false,
+            tier_overrides: Vec::new(),
         }
     }
 }

@@ -22,13 +22,13 @@ use std::rc::Rc;
 
 use memif::{
     Context, FaultPlan, HookId, Memif, MemifConfig, NodeId, PageSize, RaceMode, Sim, SimDuration,
-    SimEvent, SimTime, System, VirtAddr,
+    SimEvent, SimTime, System, TierRank, TierUsage, VirtAddr,
 };
 use memif_hwsim::{CostModel, MemoryKind, Topology};
 use memif_mm::AccessKind;
-use memif_workloads::phased_hot_set;
+use memif_workloads::{phased_hot_set, tiered_phased_hot_set};
 
-use crate::daemon::{PolicyDaemon, PolicyStats};
+use crate::daemon::{PolicyDaemon, PolicyStats, TierMap};
 use crate::PolicyConfig;
 
 /// Placement regime for a scenario run.
@@ -87,6 +87,23 @@ pub struct ScenarioConfig {
     pub carry: usize,
     /// Application ticks per phase (each streams one hot region).
     pub ticks_per_phase: u32,
+    /// Memory tiers on the machine: 2 runs the classic KeyStone II
+    /// pair, 3 or 4 the ranked ladder ([`Topology::ranked`]) with NVM
+    /// and a compressed floor. Taller machines force
+    /// [`PolicyConfig::cascade`] on and default
+    /// [`PolicyConfig::freeze_permille`] to 50 when unset, so one
+    /// `tiers` knob fully determines the run.
+    pub tiers: usize,
+    /// Tiers the *daemon* manages: 0 means all of them. Fewer gives the
+    /// comparison regime — e.g. a classic two-tier policy (top rank +
+    /// pool home) running on a four-tier machine.
+    pub policy_tiers: usize,
+    /// Warm regions per phase ([`memif_workloads::tiered_phased_hot_set`]):
+    /// a halo whose first quarter of pages is touched every tick —
+    /// enough decayed heat to earn the middle tiers under the
+    /// graduated thresholds, never enough for the top rank. Zero
+    /// streams hot regions only.
+    pub warm: usize,
     /// Daemon tuning.
     pub policy: PolicyConfig,
     /// The daemon's memif instance configuration.
@@ -109,6 +126,9 @@ impl Default for ScenarioConfig {
             hot: 8,
             carry: 3,
             ticks_per_phase: 32,
+            tiers: 2,
+            policy_tiers: 0,
+            warm: 0,
             policy: PolicyConfig::default(),
             memif: MemifConfig {
                 // Transparent to the app: racing writes abort the move
@@ -135,10 +155,18 @@ pub struct ScenarioResult {
     pub wall: SimDuration,
     /// Application ticks executed.
     pub ticks: u64,
-    /// Ticks that streamed from the fast node.
+    /// Streams served from the top rank (tier 0).
     pub fast_ticks: u64,
-    /// Ticks that streamed from the slow node.
+    /// Streams served from any lower rank.
     pub slow_ticks: u64,
+    /// Streams served per tier rank, indexed by rank.
+    pub tier_ticks: Vec<u64>,
+    /// Per-tier occupancy and move traffic at the end of the run.
+    pub tiers: Vec<TierUsage>,
+    /// CPU time spent compressing into the cold floor.
+    pub compress_busy: SimDuration,
+    /// CPU time spent decompressing out of the cold floor.
+    pub decompress_busy: SimDuration,
     /// Per-frame access-counter total drained from the sampling layer.
     pub page_touches: u64,
     /// CPU busy fraction over the run (all contexts).
@@ -156,14 +184,26 @@ pub struct ScenarioResult {
 struct App {
     bases: Vec<VirtAddr>,
     hot_sets: Vec<Vec<usize>>,
+    warm_sets: Vec<Vec<usize>>,
     pages: u32,
     page_size: PageSize,
     ticks_per_phase: u32,
     total_ticks: u64,
     fast_ticks: u64,
     slow_ticks: u64,
+    tier_ticks: Vec<u64>,
     finished_at: Option<SimTime>,
     hook: Option<HookId>,
+}
+
+/// The CPU's streaming bandwidth against a given storage class.
+fn stream_bw(cost: &CostModel, kind: Option<MemoryKind>) -> f64 {
+    match kind {
+        Some(MemoryKind::Fast) => cost.cpu_stream_fast_gbps,
+        Some(MemoryKind::Nvm) => cost.cpu_stream_nvm_gbps,
+        Some(MemoryKind::Compressed) => cost.cpu_stream_compressed_gbps,
+        Some(MemoryKind::Slow) | None => cost.cpu_stream_slow_gbps,
+    }
 }
 
 /// Runs one scenario to completion and collects the measurements.
@@ -175,7 +215,12 @@ struct App {
 /// impossible with a well-formed configuration.
 #[must_use]
 pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
-    let mut sys = System::with_profile(Topology::keystone_ii(), cost.clone());
+    let topo = if cfg.tiers <= 2 {
+        Topology::keystone_ii()
+    } else {
+        Topology::ranked(cfg.tiers)
+    };
+    let mut sys = System::with_profile(topo, cost.clone());
     if cfg.log_events {
         sys.enable_event_log();
     }
@@ -184,34 +229,89 @@ pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
         sys.install_faults(&mut sim, plan);
     }
 
-    let fast_node = sys
-        .topo
-        .all_nodes()
-        .iter()
-        .find(|n| n.kind == MemoryKind::Fast)
-        .map_or(NodeId(1), |n| n.id);
-    let slow_node = sys
-        .topo
-        .all_nodes()
-        .iter()
-        .find(|n| n.kind == MemoryKind::Slow)
-        .map_or(NodeId(0), |n| n.id);
+    // The pool's home: the lowest non-compressed rank (DDR on KeyStone,
+    // NVM on the ranked ladders). The compressed floor is policy-only
+    // territory — nothing is mapped there directly.
+    let tier_count = sys.topo.tier_count();
+    let home = (0..tier_count)
+        .rev()
+        .filter_map(|t| sys.topo.node_of_tier(TierRank(t as u16)))
+        .find(|n| !n.kind.is_compressed())
+        .map(|n| n.id)
+        .expect("a ladder has an uncompressed rank");
 
     let space = sys.new_space();
     sys.space_mut(space).enable_sampling();
     let bases: Vec<VirtAddr> = (0..cfg.regions)
         .map(|_| {
-            sys.mmap(space, cfg.pages_per_region, cfg.page_size, slow_node)
-                .expect("slow node holds the pool")
+            sys.mmap(space, cfg.pages_per_region, cfg.page_size, home)
+                .expect("home node holds the pool")
         })
         .collect();
-    let schedule = phased_hot_set(cfg.seed, cfg.regions, cfg.phases, cfg.hot, cfg.carry);
+    let (hot_sets, warm_sets) = if cfg.warm > 0 {
+        let s = tiered_phased_hot_set(
+            cfg.seed,
+            cfg.regions,
+            cfg.phases,
+            cfg.hot,
+            cfg.carry,
+            cfg.warm,
+        );
+        (s.hot, s.warm)
+    } else {
+        let s = phased_hot_set(cfg.seed, cfg.regions, cfg.phases, cfg.hot, cfg.carry);
+        (s.phases, vec![Vec::new(); cfg.phases])
+    };
 
+    let mut policy_cfg = cfg.policy.clone();
+    if cfg.tiers > 2 {
+        // One knob determines the run: taller machines always cascade,
+        // freeze to the compressed floor, and grade their promotion
+        // bars unless explicitly tuned — the lower ranks promote at a
+        // third of the global bar, so the warm halo's steady heat earns
+        // DRAM without ever earning SRAM.
+        policy_cfg.cascade = true;
+        if policy_cfg.freeze_permille == 0 {
+            policy_cfg.freeze_permille = 50;
+        }
+        if policy_cfg.tier_overrides.is_empty() {
+            let eased = crate::TierTuning {
+                promote_permille: Some(policy_cfg.promote_permille / 2),
+                ..crate::TierTuning::default()
+            };
+            policy_cfg.tier_overrides = (0..cfg.tiers)
+                .map(|t| {
+                    if t >= 2 {
+                        eased
+                    } else {
+                        crate::TierTuning::default()
+                    }
+                })
+                .collect();
+        }
+    }
+    let policy_tiers = if cfg.policy_tiers == 0 {
+        tier_count
+    } else {
+        cfg.policy_tiers
+    };
     let daemon = match cfg.mode {
         Mode::None => None,
         Mode::Sync | Mode::Async => {
             let memif = Memif::open(&mut sys, space, cfg.memif.clone()).expect("daemon instance");
-            let d = PolicyDaemon::launch(&mut sys, &mut sim, memif, space, cfg.policy.clone());
+            let d = if policy_tiers >= tier_count {
+                PolicyDaemon::launch(&mut sys, &mut sim, memif, space, policy_cfg)
+            } else {
+                // The comparison regime: a shorter ladder (top ranks
+                // plus the pool's home) on the same machine.
+                let mut nodes: Vec<NodeId> = (0..policy_tiers.saturating_sub(1))
+                    .filter_map(|t| sys.topo.node_of_tier(TierRank(t as u16)))
+                    .map(|n| n.id)
+                    .collect();
+                nodes.push(home);
+                let map = TierMap::of_nodes(&sys.topo, &nodes);
+                PolicyDaemon::launch_with_tiers(&mut sys, &mut sim, memif, space, policy_cfg, map)
+            };
             for &b in &bases {
                 d.track(&sys, b, cfg.pages_per_region, cfg.page_size);
             }
@@ -220,13 +320,15 @@ pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
     };
     let app = Rc::new(RefCell::new(App {
         bases,
-        hot_sets: schedule.phases.clone(),
+        hot_sets,
+        warm_sets,
         pages: cfg.pages_per_region,
         page_size: cfg.page_size,
         ticks_per_phase: cfg.ticks_per_phase,
         total_ticks: u64::from(cfg.ticks_per_phase) * cfg.phases as u64,
         fast_ticks: 0,
         slow_ticks: 0,
+        tier_ticks: vec![0; tier_count],
         finished_at: None,
         hook: None,
     }));
@@ -252,42 +354,53 @@ pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
                 }
             }
         }
-        let (base, bytes) = {
+        let (hot_base, warm_bases, pages, page_size) = {
             let a = app2.borrow();
             let phase = (tick / u64::from(a.ticks_per_phase)) as usize;
             let hot = &a.hot_sets[phase];
             let slot = hot[(tick % u64::from(a.ticks_per_phase)) as usize % hot.len()];
-            (a.bases[slot], u64::from(a.pages) * a.page_size.bytes())
+            let warm: Vec<VirtAddr> = a.warm_sets[phase].iter().map(|&w| a.bases[w]).collect();
+            (a.bases[slot], warm, a.pages, a.page_size)
         };
-        // Stream the region: every page referenced (clears young, feeds
-        // the sampling layer), priced at the backing node's bandwidth.
-        let (pages, page_size) = {
-            let a = app2.borrow();
-            (a.pages, a.page_size)
-        };
-        for p in 0..pages {
-            let va = base.offset(u64::from(p) * page_size.bytes());
-            let _ = sys.space_mut(space).access(va, AccessKind::Read);
-        }
-        let on_fast = sys
-            .space(space)
-            .translate(base)
-            .and_then(|pa| sys.node_of(pa))
-            == Some(fast_node);
-        let bw = if on_fast {
-            sys.cost.cpu_stream_fast_gbps
-        } else {
-            sys.cost.cpu_stream_slow_gbps
-        };
+        // Stream each region: pages referenced (clearing young, feeding
+        // the sampling layer), priced at the backing storage class's
+        // bandwidth. The hot region streams whole; the warm halo's
+        // regions stream their first quarter each.
+        let mut d = SimDuration::from_ns(0);
+        let quarter = (pages / 4).max(1);
+        for (base, touched) in
+            std::iter::once((hot_base, pages)).chain(warm_bases.iter().map(|&b| (b, quarter)))
         {
-            let mut a = app2.borrow_mut();
-            if on_fast {
-                a.fast_ticks += 1;
-            } else {
-                a.slow_ticks += 1;
+            for p in 0..touched {
+                let va = base.offset(u64::from(p) * page_size.bytes());
+                let _ = sys.space_mut(space).access(va, AccessKind::Read);
             }
+            let node = sys
+                .space(space)
+                .translate(base)
+                .and_then(|pa| sys.node_of(pa));
+            let kind = node.and_then(|n| {
+                sys.topo
+                    .all_nodes()
+                    .iter()
+                    .find(|m| m.id == n)
+                    .map(|m| m.kind)
+            });
+            let rank = node
+                .and_then(|n| sys.topo.tier_of(n))
+                .unwrap_or_else(|| sys.topo.max_tier());
+            {
+                let mut a = app2.borrow_mut();
+                if rank.0 == 0 {
+                    a.fast_ticks += 1;
+                } else {
+                    a.slow_ticks += 1;
+                }
+                a.tier_ticks[rank.0 as usize] += 1;
+            }
+            let bytes = u64::from(touched) * page_size.bytes();
+            d += SimDuration::for_bytes(bytes, stream_bw(&sys.cost, kind));
         }
-        let d = SimDuration::for_bytes(bytes, bw);
         sys.meter.charge(Context::App, d);
         sim.schedule_after(
             d,
@@ -329,6 +442,10 @@ pub fn run_scenario(cost: &CostModel, cfg: &ScenarioConfig) -> ScenarioResult {
         ticks: a.total_ticks,
         fast_ticks: a.fast_ticks,
         slow_ticks: a.slow_ticks,
+        tier_ticks: a.tier_ticks.clone(),
+        tiers: sys.tier_usage(),
+        compress_busy: sys.meter.compress_busy(),
+        decompress_busy: sys.meter.decompress_busy(),
         page_touches,
         cpu_usage: sys.meter.cpu_busy().as_ns() as f64 / wall.as_ns().max(1) as f64,
         policy,
@@ -391,6 +508,60 @@ mod tests {
         let cfg = ScenarioConfig {
             log_events: true,
             ..quick(Mode::Async)
+        };
+        let a = run_scenario(&CostModel::keystone_ii(), &cfg);
+        let b = run_scenario(&CostModel::keystone_ii(), &cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.statuses, b.statuses);
+        assert_eq!(a.wall, b.wall);
+    }
+
+    fn waterfall(mode: Mode) -> ScenarioConfig {
+        ScenarioConfig {
+            mode,
+            tiers: 4,
+            warm: 6,
+            phases: 3,
+            ticks_per_phase: 16,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// On the four-rank ladder the waterfall spreads the pool across
+    /// tiers: hot streams reach the top, frozen leftovers sink to the
+    /// compressed floor and pay visible codec time.
+    #[test]
+    fn four_tier_waterfall_spreads_the_pool() {
+        let r = run_scenario(&CostModel::keystone_ii(), &waterfall(Mode::Async));
+        assert_eq!(r.tier_ticks.len(), 4);
+        assert!(
+            r.fast_ticks > 0,
+            "hot work reached tier 0: {:?}",
+            r.tier_ticks
+        );
+        assert!(r.policy.promotions > 0 && r.policy.demotions > 0);
+        assert!(
+            r.tiers
+                .iter()
+                .any(|t| t.kind == "compressed" && t.used_bytes > 0),
+            "frozen regions reached the floor: {:?}",
+            r.tiers
+        );
+        assert!(
+            r.compress_busy.as_ns() > 0,
+            "compression work was priced and attributed"
+        );
+        let none = run_scenario(&CostModel::keystone_ii(), &waterfall(Mode::None));
+        assert!(r.wall < none.wall, "waterfall beats no policy");
+    }
+
+    /// Four-tier runs replay byte-identically too — chained floor
+    /// plunges, cascade retries, codec charges and all.
+    #[test]
+    fn four_tier_runs_replay_byte_identically() {
+        let cfg = ScenarioConfig {
+            log_events: true,
+            ..waterfall(Mode::Async)
         };
         let a = run_scenario(&CostModel::keystone_ii(), &cfg);
         let b = run_scenario(&CostModel::keystone_ii(), &cfg);

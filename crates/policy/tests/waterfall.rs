@@ -1,0 +1,231 @@
+//! Property-based tests for the waterfall planner: whatever the ladder
+//! shape (2/3/4 tiers), knob overrides, or occupancy chaos, a plan
+//! - never lands a move above a non-floor tier's watermark ceiling,
+//!   with this epoch's demotions credited as they free bytes;
+//! - never re-plans a region with a move outstanding;
+//! - moves every region exactly one rank, except frozen regions, which
+//!   plunge straight to the compressed floor;
+//! - only sinks cold/frozen regions and only climbs hot ones; and
+//! - is a pure function of engine state (same state, same plan), which
+//!   is what makes the daemon's epoch loop replayable.
+
+use std::collections::HashSet;
+
+use memif_hwsim::TierRank;
+use memif_mm::PageSize;
+use memif_policy::{PolicyConfig, PolicyEngine, PolicyPlan, TierOccupancy, TierTuning};
+use proptest::prelude::*;
+
+const PAGE: PageSize = PageSize::Small4K;
+
+/// One tracked region's starting state, by strategy.
+#[derive(Debug, Clone)]
+struct Spec {
+    pages: u32,
+    heat: u32,
+    tier: u16,
+    inflight: bool,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1u32..256, 0u32..400, 0u16..4, any::<bool>()).prop_map(|(pages, heat, tier, inflight)| Spec {
+        pages,
+        heat,
+        tier,
+        inflight,
+    })
+}
+
+fn knob() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), (0u32..1200).prop_map(Some)]
+}
+
+fn tuning() -> impl Strategy<Value = TierTuning> {
+    (knob(), knob(), knob()).prop_map(|(p, d, w)| TierTuning {
+        promote_permille: p,
+        demote_permille: d,
+        watermark_permille: w,
+    })
+}
+
+/// Occupancy from an unordered byte pair: total = max, free = min — so
+/// `free <= total` always, while zero-capacity and brim-full tiers stay
+/// reachable (the chaos cases).
+fn occupancy(pair: (u64, u64)) -> TierOccupancy {
+    TierOccupancy {
+        free: pair.0.min(pair.1),
+        total: pair.0.max(pair.1),
+    }
+}
+
+fn build(cfg: &PolicyConfig, tiers: usize, floor: bool, specs: &[Spec]) -> PolicyEngine {
+    let mut e = PolicyEngine::with_tiers(cfg, tiers, floor);
+    for (i, s) in specs.iter().enumerate() {
+        let base = (i as u64 + 1) * 0x0100_0000;
+        e.track(base, s.pages, PAGE, TierRank(s.tier % tiers as u16));
+        e.observe(base, s.heat);
+        e.set_inflight(base, s.inflight);
+    }
+    e
+}
+
+/// Replays `plan` in issue order against an independent occupancy
+/// ledger and asserts every invariant the planner promises.
+fn check_plan(e: &PolicyEngine, cfg: &PolicyConfig, occ: &[TierOccupancy], plan: &PolicyPlan) {
+    let floor = TierRank(e.tiers() as u16 - 1);
+    let ceilings: Vec<u64> = occ
+        .iter()
+        .enumerate()
+        .map(|(t, o)| {
+            let w = cfg
+                .tier_overrides
+                .get(t)
+                .and_then(|o| o.watermark_permille)
+                .unwrap_or(cfg.watermark_permille);
+            o.total / 1000 * u64::from(w)
+        })
+        .collect();
+    let mut used: Vec<u64> = occ.iter().map(|o| o.total - o.free).collect();
+    let mut seen = HashSet::new();
+
+    for m in plan.demote.iter().chain(plan.promote.iter()) {
+        let r = e.region(m.base).expect("plans only tracked regions");
+        prop_assert!(!r.inflight, "replanned inflight region {:#x}", m.base);
+        prop_assert!(seen.insert(m.base), "region {:#x} planned twice", m.base);
+        prop_assert_eq!(r.tier, m.from, "plan disagrees with residency");
+
+        if m.to > m.from {
+            // Sinking: one rank, or a frozen plunge to the floor.
+            prop_assert!(m.from < floor, "demoted off the ladder");
+            prop_assert!(
+                m.to == m.from.down() || (e.is_frozen(r) && m.to == floor),
+                "{:#x}: sink {} -> {} is neither one rank nor a frozen plunge",
+                m.base,
+                m.from,
+                m.to
+            );
+            prop_assert!(
+                e.is_cold(r) || e.is_frozen(r),
+                "sank a region that is neither cold nor frozen"
+            );
+        } else {
+            prop_assert!(m.from.0 > 0, "promoted above the top rank");
+            prop_assert_eq!(m.to, m.from.up(), "promotions climb exactly one rank");
+            prop_assert!(e.is_hot(r), "climbed a region that is not hot");
+        }
+
+        let (f, t) = (m.from.0 as usize, m.to.0 as usize);
+        used[f] = used[f].saturating_sub(r.bytes());
+        used[t] += r.bytes();
+        if m.to != floor {
+            prop_assert!(
+                used[t] <= ceilings[t],
+                "tier {} overfilled: {} > ceiling {}",
+                m.to,
+                used[t],
+                ceilings[t]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One-shot plans over random ladders, knobs, heats, and
+    /// occupancies (including zero-capacity and brim-full tiers) keep
+    /// every invariant, and planning is deterministic.
+    #[test]
+    fn waterfall_plans_hold_their_invariants(
+        tiers in 2usize..=4,
+        compressed in any::<bool>(),
+        freeze in prop_oneof![Just(0u32), Just(50), Just(300)],
+        watermark in 400u32..1000,
+        overrides in proptest::collection::vec(tuning(), 0..5),
+        specs in proptest::collection::vec(spec(), 1..40),
+        occ_pairs in proptest::collection::vec((0u64..(64 << 20), 0u64..(64 << 20)), 4),
+    ) {
+        let cfg = PolicyConfig {
+            watermark_permille: watermark,
+            freeze_permille: freeze,
+            tier_overrides: overrides,
+            ..PolicyConfig::default()
+        };
+        let e = build(&cfg, tiers, compressed, &specs);
+        let occ: Vec<TierOccupancy> =
+            occ_pairs.into_iter().take(tiers).map(occupancy).collect();
+
+        let plan = e.plan(&occ);
+        prop_assert_eq!(&plan, &e.plan(&occ), "same state, same plan");
+        check_plan(&e, &cfg, &occ, &plan);
+    }
+
+    /// Chaos churn: a random multi-epoch history of observes, decays,
+    /// inflight flips, and residency changes — every intermediate plan
+    /// still holds the invariants, and two engines fed the identical
+    /// history stay in lockstep.
+    #[test]
+    fn churned_engines_stay_deterministic_and_safe(
+        tiers in 2usize..=4,
+        freeze in prop_oneof![Just(0u32), Just(120)],
+        specs in proptest::collection::vec(spec(), 1..24),
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0usize..24, 0u32..300).prop_map(|(i, h)| Op::Observe(i, h)),
+                (0usize..24).prop_map(Op::Decay),
+                (0usize..24, any::<bool>()).prop_map(|(i, b)| Op::Inflight(i, b)),
+                (0usize..24, 0u16..4).prop_map(|(i, t)| Op::SetTier(i, t)),
+                Just(Op::Plan),
+            ],
+            1..80,
+        ),
+        occ_pairs in proptest::collection::vec((0u64..(64 << 20), 0u64..(64 << 20)), 4),
+    ) {
+        let cfg = PolicyConfig {
+            freeze_permille: freeze,
+            ..PolicyConfig::default()
+        };
+        let mut a = build(&cfg, tiers, true, &specs);
+        let mut b = build(&cfg, tiers, true, &specs);
+        let occ: Vec<TierOccupancy> =
+            occ_pairs.into_iter().take(tiers).map(occupancy).collect();
+        let base_of = |i: usize| ((i % specs.len()) as u64 + 1) * 0x0100_0000;
+
+        for op in ops {
+            match op {
+                Op::Observe(i, h) => {
+                    a.observe(base_of(i), h);
+                    b.observe(base_of(i), h);
+                }
+                Op::Decay(i) => {
+                    a.decay(base_of(i));
+                    b.decay(base_of(i));
+                }
+                Op::Inflight(i, fl) => {
+                    a.set_inflight(base_of(i), fl);
+                    b.set_inflight(base_of(i), fl);
+                }
+                Op::SetTier(i, t) => {
+                    let tier = TierRank(t % tiers as u16);
+                    a.set_tier(base_of(i), tier);
+                    b.set_tier(base_of(i), tier);
+                }
+                Op::Plan => {
+                    let plan = a.plan(&occ);
+                    prop_assert_eq!(&plan, &b.plan(&occ), "histories diverged");
+                    check_plan(&a, &cfg, &occ, &plan);
+                }
+            }
+        }
+    }
+}
+
+/// A chaos-history step over the engine's mutating surface.
+#[derive(Debug, Clone)]
+enum Op {
+    Observe(usize, u32),
+    Decay(usize),
+    Inflight(usize, bool),
+    SetTier(usize, u16),
+    Plan,
+}

@@ -19,5 +19,5 @@ pub mod phased;
 pub mod profiles;
 
 pub use generator::{pow2_sweep, random_mix, uniform_stream, RequestShape, ShapeKind};
-pub use phased::{phased_hot_set, PhaseSchedule};
+pub use phased::{phased_hot_set, tiered_phased_hot_set, PhaseSchedule, TieredSchedule};
 pub use profiles::{stream_add, stream_triad, streamcluster_pgain, table4_kernels, wordcount_like};

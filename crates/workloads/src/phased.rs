@@ -85,6 +85,69 @@ pub fn phased_hot_set(
     }
 }
 
+/// A phase schedule with *two* working-set classes per phase: the hot
+/// regions streamed every tick, and a warm halo touched only
+/// occasionally. On a ranked hierarchy the classes should settle on
+/// different tiers — hot at the top, warm one rank down, everything
+/// else sinking toward the floor — so this is the waterfall
+/// evaluation's workload (E16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieredSchedule {
+    /// Number of regions in the pool.
+    pub regions: usize,
+    /// Hot region indices per phase, each sorted ascending.
+    pub hot: Vec<Vec<usize>>,
+    /// Warm region indices per phase, sorted, disjoint from that
+    /// phase's hot set.
+    pub warm: Vec<Vec<usize>>,
+}
+
+/// Builds a tiered phase schedule: the hot sets are exactly
+/// [`phased_hot_set`]'s (same seed, same pool — the workloads nest),
+/// plus `warm` regions per phase drawn from the remaining pool.
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics when `hot + warm > regions` or `carry > hot`.
+#[must_use]
+pub fn tiered_phased_hot_set(
+    seed: u64,
+    regions: usize,
+    phases: usize,
+    hot: usize,
+    carry: usize,
+    warm: usize,
+) -> TieredSchedule {
+    assert!(
+        hot + warm <= regions,
+        "hot + warm sets larger than the region pool"
+    );
+    let base = phased_hot_set(seed, regions, phases, hot, carry);
+    // A separate stream so the hot sets stay identical to the untired
+    // schedule for the same seed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let warm_sets = base
+        .phases
+        .iter()
+        .map(|hot_set| {
+            let mut pool: Vec<usize> = (0..regions).filter(|r| !hot_set.contains(r)).collect();
+            let mut w = Vec::with_capacity(warm);
+            for _ in 0..warm {
+                let k = rng.random_range(0..pool.len() as u64) as usize;
+                w.push(pool.swap_remove(k));
+            }
+            w.sort_unstable();
+            w
+        })
+        .collect();
+    TieredSchedule {
+        regions,
+        hot: base.phases,
+        warm: warm_sets,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +193,25 @@ mod tests {
     #[should_panic(expected = "hot set larger")]
     fn oversized_hot_set_panics() {
         let _ = phased_hot_set(0, 4, 2, 8, 0);
+    }
+
+    #[test]
+    fn tiered_schedule_nests_the_plain_one() {
+        let plain = phased_hot_set(11, 24, 6, 8, 2);
+        let tiered = tiered_phased_hot_set(11, 24, 6, 8, 2, 6);
+        assert_eq!(tiered.hot, plain.phases, "hot sets identical per seed");
+        assert_eq!(tiered, tiered_phased_hot_set(11, 24, 6, 8, 2, 6));
+        for (hot, warm) in tiered.hot.iter().zip(&tiered.warm) {
+            assert_eq!(warm.len(), 6);
+            assert!(warm.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            assert!(warm.iter().all(|r| !hot.contains(r)), "classes disjoint");
+            assert!(warm.iter().all(|&r| r < 24));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot + warm")]
+    fn oversized_tiered_pool_panics() {
+        let _ = tiered_phased_hot_set(0, 8, 2, 6, 0, 4);
     }
 }

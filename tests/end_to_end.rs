@@ -181,13 +181,15 @@ fn migration_to_offline_node_fails_cleanly() {
             id: NodeId(0),
             name: "ddr".into(),
             kind: MemoryKind::Slow,
+            tier: memif_hwsim::TierRank(0),
             base: memif_hwsim::PhysAddr::new(0x8000_0000),
             bytes: 64 << 20,
             bandwidth_gbps: 6.2,
             boot_visible: true,
         }],
         4,
-    );
+    )
+    .expect("valid one-node topology");
     let mut sys = System::with_profile(topo, CostModel::keystone_ii());
     let mut sim = Sim::new();
     let space = sys.new_space();
