@@ -261,6 +261,14 @@ pub struct StreamResult {
     /// ([`memif::System::tier_usage`]). Empty for the Linux baseline,
     /// which models no tiered machine.
     pub tiers: Vec<memif::TierUsage>,
+    /// Events the DES scheduler executed over the run. Zero for the
+    /// Linux baseline, which is computed closed-form without the DES.
+    pub events_executed: u64,
+    /// Pending events cancelled before firing (flow-timer rearms,
+    /// watchdog disarms).
+    pub events_cancelled: u64,
+    /// High-water mark of concurrently pending scheduler events.
+    pub peak_pending: usize,
 }
 
 /// Streams `count` identical memif requests, keeping up to `window`
@@ -583,6 +591,9 @@ fn run_stream(
         stats: dev.stats.clone(),
         worker_busy: sys.meter.workers().to_vec(),
         tiers: sys.tier_usage(),
+        events_executed: sim.executed(),
+        events_cancelled: sim.cancelled(),
+        peak_pending: sim.peak_pending(),
     };
     drop(st);
     LoggedStream {
@@ -927,5 +938,8 @@ pub fn stream_linux(
         stats: memif::DriverStats::default(),
         worker_busy: Vec::new(),
         tiers: Vec::new(),
+        events_executed: 0,
+        events_cancelled: 0,
+        peak_pending: 0,
     }
 }

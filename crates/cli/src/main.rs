@@ -548,6 +548,9 @@ fn stats(args: &Args) -> Result<(), String> {
         ("recovered_requests", st.recovered_requests),
         ("rolled_back", st.rolled_back),
         ("redriven", st.redriven),
+        ("events_executed", r.events_executed),
+        ("events_cancelled", r.events_cancelled),
+        ("peak_pending", r.peak_pending as u64),
         ("issue_cpu_ns", issue_cpu.as_ns()),
     ];
     if json {

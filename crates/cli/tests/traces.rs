@@ -168,6 +168,57 @@ fn recover_json_reports_the_stable_counter_keys() {
 }
 
 #[test]
+fn stats_json_carries_the_scheduler_counters() {
+    let dir = tempdir("stats-sched-json");
+    let out = memifctl(&dir, &["stats", "--count", "4", "--json", "true"]);
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"events_executed\":",
+        "\"events_cancelled\":",
+        "\"peak_pending\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    // A real run executes events and holds several pending at once; the
+    // counters must carry live values, not zero placeholders.
+    let field = |key: &str| -> u64 {
+        let at = stdout.find(key).unwrap() + key.len();
+        stdout[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert!(field("\"events_executed\":") > 0, "no events executed?");
+    assert!(field("\"peak_pending\":") > 0, "nothing ever pending?");
+}
+
+/// A trace captured on the PR 7 scheduler (BinaryHeap + tombstone set)
+/// must replay bit-identically on the current one: the dispatch-order
+/// contract `(time, insertion)` is part of the trace format's ABI.
+#[test]
+fn committed_pr7_trace_replays_bit_identically() {
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data/waterfall_pr7.jsonl")
+        .into_os_string()
+        .into_string()
+        .expect("utf-8 path");
+    let dir = tempdir("pr7-fixture");
+    let out = memifctl(&dir, &["replay", "--from", &fixture]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("replay OK"),
+        "PR 7 fixture must replay bit-identically: {out:?}"
+    );
+    assert!(
+        stdout.contains("1356 events") && stdout.contains("185 terminal statuses"),
+        "fixture shape drifted: {stdout}"
+    );
+}
+
+#[test]
 fn stats_json_carries_the_recovery_counters() {
     let dir = tempdir("stats-json");
     let out = memifctl(&dir, &["stats", "--count", "4", "--json", "true"]);

@@ -22,6 +22,9 @@ impl SimTime {
     /// Machine power-on.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The last representable instant (sentinel for min-folds).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// The instant `ns` nanoseconds after power-on.
     #[must_use]
     pub const fn from_ns(ns: u64) -> Self {
